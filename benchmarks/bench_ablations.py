@@ -1,0 +1,153 @@
+"""Ablations of GraphH's individual design choices.
+
+DESIGN.md calls out four mechanisms; each ablation turns exactly one
+off (or swaps its alternative) and measures the cost on the metric that
+mechanism exists to improve:
+
+* bloom-filter tile skipping  → tile loads during SSSP's sparse frontier;
+* admit-until-full cache      → hit ratio vs LRU under a cyclic scan;
+* All-in-All replication      → per-server memory vs On-Demand (Fig 6a's
+  measured counterpart);
+* hybrid communication        → total traffic vs forced dense / sparse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_graphh
+from repro.apps import PageRank, SSSP
+from repro.core import MPEConfig
+from repro.graph import chung_lu_graph, grid_graph, load_dataset
+
+
+@pytest.fixture(scope="module")
+def web():
+    return load_dataset("uk2007-s", tier="test")
+
+
+def _total_tiles_loaded(result):
+    return sum(s.tiles_processed for s in result.supersteps)
+
+
+def test_ablation_bloom_filters(benchmark, capsys):
+    """Bloom skipping should eliminate a large share of tile loads for
+    frontier algorithms at identical answers."""
+    road = grid_graph(30, 30, seed=8, name="abl-road")
+
+    def run(use_bloom):
+        result, cluster = run_graphh(
+            road,
+            SSSP(source=0),
+            num_servers=3,
+            config=MPEConfig(use_bloom_filters=use_bloom),
+            max_supersteps=200,
+            avg_tile_edges=road.num_edges // 18,
+        )
+        cluster.close()
+        return result
+
+    with_bloom = benchmark(run, True)
+    without = run(False)
+    assert np.allclose(with_bloom.values, without.values)
+    loads_on = _total_tiles_loaded(with_bloom)
+    loads_off = _total_tiles_loaded(without)
+    with capsys.disabled():
+        print(
+            f"\nbloom ablation: {loads_on} tile loads with filters vs "
+            f"{loads_off} without ({1 - loads_on / loads_off:.0%} skipped)"
+        )
+    assert loads_on < 0.8 * loads_off
+
+
+def test_ablation_replication_policy(benchmark, capsys, web):
+    """AA vs OD: identical answers; AA cheaper at small N (Fig 6a)."""
+
+    def run(policy):
+        result, cluster = run_graphh(
+            web,
+            PageRank(),
+            num_servers=3,
+            config=MPEConfig(replication_policy=policy),
+            max_supersteps=6,
+        )
+        mem = max(s.counters.mem_vertex for s in cluster.servers)
+        cluster.close()
+        return result, mem
+
+    aa_result, aa_mem = benchmark(run, "aa")
+    od_result, od_mem = run("od")
+    assert np.allclose(aa_result.values, od_result.values, atol=1e-9)
+    with capsys.disabled():
+        print(
+            f"\nreplication ablation (N=3): AA {aa_mem}B vs OD {od_mem}B "
+            f"per server"
+        )
+    assert aa_mem <= od_mem  # small cluster: AA wins (paper §IV-A)
+
+
+def test_ablation_hybrid_comm(benchmark, capsys, web):
+    """Hybrid mode's traffic must not exceed either pure mode's."""
+
+    def run(comm_mode):
+        result, cluster = run_graphh(
+            web,
+            PageRank(tolerance=1e-8),
+            num_servers=6,
+            config=MPEConfig(comm_mode=comm_mode, message_codec="raw"),
+            max_supersteps=60,
+        )
+        cluster.close()
+        return result
+
+    hybrid = benchmark(run, "hybrid")
+    dense = run("dense")
+    sparse = run("sparse")
+    assert np.allclose(hybrid.values, dense.values, atol=1e-9)
+    traffic = {
+        "hybrid": hybrid.total_net_bytes(),
+        "dense": dense.total_net_bytes(),
+        "sparse": sparse.total_net_bytes(),
+    }
+    with capsys.disabled():
+        print(f"\ncomm ablation traffic: {traffic}")
+    assert traffic["hybrid"] <= min(traffic["dense"], traffic["sparse"]) * 1.05
+
+
+def test_ablation_cache_admission_policy(benchmark, capsys):
+    """§IV-B's admit-until-full vs LRU under the engine's cyclic scan."""
+    from repro.storage import EdgeCache, LocalDisk
+
+    g = chung_lu_graph(2000, 60_000, seed=9)
+    from repro.partition import build_tiles
+
+    blobs = {
+        f"t{t.tile_id}": t.to_bytes()
+        for t in build_tiles(g, avg_tile_edges=4000).tiles
+    }
+    total = sum(len(b) for b in blobs.values())
+
+    def scan(eviction, tmp_root):
+        disk = LocalDisk(tmp_root)
+        for name, blob in blobs.items():
+            disk.write(name, blob)
+        cache = EdgeCache(
+            capacity_bytes=total // 2, mode=1, eviction=eviction
+        )
+        for _ in range(5):
+            for name in blobs:
+                cache.load(name, disk)
+        return cache.stats.hit_ratio
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as d1, tempfile.TemporaryDirectory() as d2:
+        admit = benchmark.pedantic(
+            scan, args=("none", d1), rounds=1, iterations=1
+        )
+        lru = scan("lru", d2)
+    with capsys.disabled():
+        print(
+            f"\ncache-policy ablation at 50% capacity: admit-until-full "
+            f"hit {admit:.2f} vs LRU hit {lru:.2f}"
+        )
+    assert admit > lru + 0.2

@@ -1,0 +1,17 @@
+"""Figure 1a — memory requirements per system (PageRank, UK-2007, N=9)."""
+
+from conftest import run_experiment
+
+from repro.analysis import exp_fig1_memory
+
+
+def test_fig1a_memory(benchmark, capsys, tier):
+    result = run_experiment(benchmark, capsys, exp_fig1_memory, tier)
+    measured = {row[0]: row[1] for row in result.rows}
+    # The paper's shape: out-of-core << hybrid < in-memory, and the
+    # framework-heavy stacks (Giraph/GraphX) are the most expensive.
+    assert measured["graphd"] < measured["graphh"]
+    assert measured["chaos"] < measured["graphh"]
+    assert measured["graphh"] < measured["pregel+"]
+    assert measured["giraph"] > measured["pregel+"] * 2
+    assert measured["graphx"] > measured["powergraph"]

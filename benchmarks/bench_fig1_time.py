@@ -1,0 +1,16 @@
+"""Figure 1b — per-superstep execution time per system (PageRank, UK-2007)."""
+
+from conftest import run_experiment
+
+from repro.analysis import exp_fig1_time
+
+
+def test_fig1b_time(benchmark, capsys, tier):
+    result = run_experiment(benchmark, capsys, exp_fig1_time, tier)
+    avg = {row[0]: row[1] for row in result.rows}
+    # Figure 1b's ordering claims.
+    assert avg["graphh"] == min(avg.values())
+    assert avg["pregel+"] < avg["graphd"]  # in-memory beats out-of-core
+    assert avg["powergraph"] < avg["graphd"]
+    assert avg["giraph"] > avg["graphd"]  # framework tax sinks Giraph
+    assert avg["graphx"] > avg["chaos"] * 0.8

@@ -1,0 +1,21 @@
+"""Figure 6 — All-in-All vs On-Demand replication memory."""
+
+from conftest import run_experiment
+
+from repro.analysis import exp_fig6_replication
+from repro.metrics import expected_memory_aa, expected_memory_od
+from repro.metrics.replication import aa_od_crossover
+
+
+def test_fig6_replication(benchmark, capsys, tier):
+    result = run_experiment(benchmark, capsys, exp_fig6_replication, tier)
+    rows = {(r[0], r[1]): r[2] for r in result.rows}
+    # Fig 6b shape: memory grows with dataset size; SSSP < PageRank
+    # (no out-degree array).
+    assert rows[("pagerank", "EU-2015")] > rows[("pagerank", "Twitter-2010")]
+    for graph in ("Twitter-2010", "UK-2007", "UK-2014", "EU-2015"):
+        assert rows[("sssp", graph)] <= rows[("pagerank", graph)]
+    # Fig 6a analytic shape.
+    for n in range(1, 16):
+        assert expected_memory_aa(10**6, n) <= expected_memory_od(10**6, 85.7, n)
+    assert aa_od_crossover(10**6, 85.7) is not None

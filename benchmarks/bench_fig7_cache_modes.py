@@ -1,0 +1,20 @@
+"""Figure 7 — cache modes: execution time and hit ratio (PageRank, EU-2015)."""
+
+from conftest import run_experiment
+
+from repro.analysis import exp_fig7_cache_modes
+
+
+def test_fig7_cache_modes(benchmark, capsys, tier):
+    result = run_experiment(benchmark, capsys, exp_fig7_cache_modes, tier)
+    t = {(r[0], r[1]): r[3] for r in result.rows}
+    hit = {(r[0], r[1]): r[4] for r in result.rows}
+    # 3 servers: compressed modes fill the cache, raw misses (Fig 7b).
+    assert hit[(3, 3)] > 0.95
+    assert hit[(3, 1)] < 0.8
+    # 3 servers: mode-3 crushes mode-1 (paper: 17.6x).
+    assert t[(3, 1)] / t[(3, 3)] > 4
+    # 9 servers: everything fits; decompression makes mode-4 slower
+    # than mode-1 (paper: ~2x).
+    assert hit[(9, 1)] > 0.95
+    assert t[(9, 4)] > 1.5 * t[(9, 1)]

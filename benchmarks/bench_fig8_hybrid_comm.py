@@ -1,0 +1,20 @@
+"""Figure 8 — hybrid communication: update ratio, traffic, codecs."""
+
+from conftest import run_experiment
+
+from repro.analysis import exp_fig8_hybrid_comm
+
+
+def test_fig8_hybrid_comm(benchmark, capsys, tier):
+    result = run_experiment(benchmark, capsys, exp_fig8_hybrid_comm, tier)
+    traffic = {row[0]: row[1] for row in result.rows}
+    times = {row[0]: row[2] for row in result.rows}
+    # Fig 8c: compression never increases traffic.
+    assert traffic["snappylike"] <= traffic["raw"] * 1.01
+    assert traffic["zlib1"] <= traffic["raw"] * 1.01
+    # Fig 8d: snappy-like is the best end-to-end codec (the default);
+    # zlib's decompression overhead costs more than its ratio saves.
+    assert times["snappylike"] <= min(times.values()) * 1.05
+    assert times["zlib3"] > times["snappylike"]
+    # Hybrid switching and monotone update-ratio claims verified inside.
+    assert all("VIOLATED" not in obs for obs in result.observations[:1])

@@ -1,0 +1,27 @@
+"""Figure 9 — PageRank across graphs, cluster sizes, and systems."""
+
+from conftest import run_experiment
+
+from repro.analysis import exp_fig9_pagerank
+
+
+def test_fig9_pagerank(benchmark, capsys, tier):
+    result = run_experiment(benchmark, capsys, exp_fig9_pagerank, tier)
+    t = {(r[0], r[2], r[1]): r[3] for r in result.rows}
+    # Headline shapes (§V-A):
+    for g in ("twitter2010-s", "uk2007-s"):
+        # GraphH beats every in-memory system at N=9.
+        for sys_name in ("pregel+", "powergraph", "powerlyra"):
+            assert t[(g, "graphh", 9)] < t[(g, sys_name, 9)]
+        # and beats the out-of-core systems by a wide margin.
+        assert t[(g, "graphd", 9)] / t[(g, "graphh", 9)] > 5
+    for g in ("uk2014-s", "eu2015-s"):
+        # Big graphs: order(s)-of-magnitude gap over out-of-core.
+        assert t[(g, "graphd", 9)] / t[(g, "graphh", 9)] > 20
+        assert t[(g, "chaos", 9)] / t[(g, "graphh", 9)] > 20
+        # Single-node feasibility: GraphH on 1 node still beats the
+        # out-of-core systems on 9.
+        assert t[(g, "graphh", 1)] < t[(g, "graphd", 9)]
+    # Scaling: more servers never makes GraphH slower by much.
+    for g in ("uk2014-s", "eu2015-s"):
+        assert t[(g, "graphh", 9)] < t[(g, "graphh", 1)]

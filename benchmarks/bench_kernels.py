@@ -1,0 +1,91 @@
+"""Micro-benchmarks for the hot kernels every superstep runs.
+
+Unlike the table/figure benches (one-shot regeneration), these use
+pytest-benchmark's repeated timing to track the per-call cost of the
+inner loops: the tile gather/apply kernel, segment reduction, codecs,
+and hybrid message encoding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import PageRank, SSSP
+from repro.comm import decode_update, encode_update
+from repro.core.mpe import _process_tile
+from repro.core.vertexstore import AllInAllStore
+from repro.graph import chung_lu_graph, grid_graph
+from repro.partition import build_tiles
+from repro.storage import get_codec
+from repro.utils.segments import segment_reduce
+
+
+@pytest.fixture(scope="module")
+def web_tile():
+    g = chung_lu_graph(20_000, 400_000, seed=77)
+    part = build_tiles(g, avg_tile_edges=400_000)
+    return g, part.tiles[0]
+
+
+def test_kernel_gather_apply_pagerank(benchmark, web_tile):
+    g, tile = web_tile
+    program = PageRank()
+    store = AllInAllStore(program.init_values(g), g.out_degrees)
+    ids, vals = benchmark(_process_tile, program, tile, store)
+    assert ids.size <= g.num_vertices
+
+
+def test_kernel_gather_apply_sssp(benchmark):
+    g = grid_graph(150, 150, seed=3)
+    tile = build_tiles(g, avg_tile_edges=g.num_edges).tiles[0]
+    program = SSSP(source=0)
+    store = AllInAllStore(program.init_values(g), None)
+    benchmark(_process_tile, program, tile, store)
+
+
+def test_kernel_segment_reduce_add(benchmark):
+    rng = np.random.default_rng(0)
+    indptr = np.concatenate(([0], np.cumsum(rng.integers(0, 40, 50_000))))
+    values = rng.random(int(indptr[-1]))
+    result = benchmark(segment_reduce, values, indptr, "add")
+    assert result.size == 50_000
+
+
+@pytest.mark.parametrize("codec", ["snappylike", "zlib1", "zlib3"])
+def test_kernel_tile_compress(benchmark, web_tile, codec):
+    _, tile = web_tile
+    blob = tile.to_bytes()
+    compressed = benchmark(get_codec(codec).compress, blob)
+    assert len(compressed) < len(blob)
+
+
+@pytest.mark.parametrize("codec", ["snappylike", "zlib1", "zlib3"])
+def test_kernel_tile_decompress(benchmark, web_tile, codec):
+    _, tile = web_tile
+    blob = tile.to_bytes()
+    compressed = get_codec(codec).compress(blob)
+    out = benchmark(get_codec(codec).decompress, compressed)
+    assert out == blob
+
+
+def test_kernel_dense_message_roundtrip(benchmark):
+    values = np.random.default_rng(1).random(100_000)
+    ids = np.arange(0, 100_000, 3)
+
+    def roundtrip():
+        return decode_update(encode_update(values, ids, "snappylike", mode=0))
+
+    out = benchmark(roundtrip)
+    assert out.num_updates == ids.size
+
+
+def test_kernel_sparse_message_roundtrip(benchmark):
+    values = np.random.default_rng(1).random(100_000)
+    ids = np.sort(
+        np.random.default_rng(2).choice(100_000, size=500, replace=False)
+    ).astype(np.int64)
+
+    def roundtrip():
+        return decode_update(encode_update(values, ids, "snappylike", mode=1))
+
+    out = benchmark(roundtrip)
+    assert out.num_updates == 500

@@ -1,0 +1,30 @@
+"""Extension: GraphH strong-scaling and partition-quality experiments."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import (
+    exp_partitioning_quality,
+    exp_scaling_efficiency,
+)
+
+
+def test_scaling_efficiency(benchmark, capsys, tier):
+    result = run_experiment(benchmark, capsys, exp_scaling_efficiency, tier)
+    by_key = {(r[0], r[1]): r for r in result.rows}
+    # Speedup at N=1 is 1 by definition; it never drops below ~1
+    # (adding servers may plateau but must not badly regress).
+    for (dataset, servers), row in by_key.items():
+        if servers == 1:
+            assert row[3] == 1.0
+        assert row[3] > 0.5
+    # Big graphs reach meaningful speedup at 9 servers.
+    assert by_key[("eu2015-s", 9)][3] > 2.0
+
+
+def test_partitioning_quality(benchmark, capsys, tier):
+    result = run_experiment(benchmark, capsys, exp_partitioning_quality, tier)
+    tiles_rows = [r for r in result.rows if r[1] == "graphh-tiles"]
+    assert len(tiles_rows) == 4
+    for row in tiles_rows:
+        # The splitter keeps tile-per-server imbalance tight.
+        assert row[2] < 2.0

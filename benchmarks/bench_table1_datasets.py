@@ -1,0 +1,13 @@
+"""Table I — benchmark graph datasets (scaled analogs vs paper)."""
+
+from conftest import run_experiment
+
+from repro.analysis import exp_table1_datasets
+
+
+def test_table1_datasets(benchmark, capsys, tier):
+    result = run_experiment(benchmark, capsys, exp_table1_datasets, tier)
+    assert len(result.rows) == 4
+    # Average degrees must match the paper's within 5%.
+    for row in result.rows:
+        assert abs(row[3] - row[9]) / row[9] < 0.05

@@ -1,0 +1,15 @@
+"""Table III — analytic cost expressions, verified against counters."""
+
+from conftest import run_experiment
+
+from repro.analysis import exp_table3_costs
+
+
+def test_table3_costs(benchmark, capsys, tier):
+    result = run_experiment(benchmark, capsys, exp_table3_costs, tier)
+    assert len(result.rows) == 5
+    # Every verification observation must quote a measured/predicted
+    # ratio within an order of magnitude (the formulas are asymptotics).
+    for obs in result.observations:
+        ratio = float(obs.rsplit("(x", 1)[1].rstrip(")"))
+        assert 0.05 < ratio < 20.0, obs

@@ -1,0 +1,12 @@
+"""Table IV — converted input size per system (measured bytes)."""
+
+from conftest import run_experiment
+
+from repro.analysis import exp_table4_input_size
+
+
+def test_table4_input_size(benchmark, capsys, tier):
+    result = run_experiment(benchmark, capsys, exp_table4_input_size, tier)
+    assert len(result.rows) == 4
+    for obs in result.observations:
+        assert "HOLDS" in obs, obs

@@ -1,0 +1,14 @@
+"""Table V — compression ratio and throughput on tile bytes."""
+
+from conftest import run_experiment
+
+from repro.analysis import exp_table5_compression
+
+
+def test_table5_compression(benchmark, capsys, tier):
+    result = run_experiment(benchmark, capsys, exp_table5_compression, tier)
+    ratios = {(row[0], row[1]): row[2] for row in result.rows}
+    for graph in {row[0] for row in result.rows}:
+        assert ratios[(graph, "snappylike")] > 1.0
+        assert ratios[(graph, "zlib1")] > ratios[(graph, "snappylike")]
+        assert ratios[(graph, "zlib3")] >= ratios[(graph, "zlib1")] * 0.99

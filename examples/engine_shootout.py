@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""All eight systems, one graph — a Figure-9-style shootout.
+
+Runs PageRank on the Twitter-2010 scaled analog through GraphH and every
+baseline the paper compares (Pregel+, Giraph, PowerGraph, PowerLyra,
+GraphX, GraphD, Chaos), validates that all of them agree on the answer,
+and prints per-system modeled time (at paper scale), cluster memory, and
+traffic — the row a reader would check first.
+
+    python examples/engine_shootout.py [num_servers]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.experiments import (
+    avg_modeled_paper_scale,
+    cluster_memory_paper_gb,
+    run_system,
+)
+from repro.apps import PageRank, reference_solution
+from repro.graph import load_dataset
+from repro.utils import human_bytes
+
+SYSTEMS = (
+    "graphh",
+    "pregel+",
+    "giraph",
+    "powergraph",
+    "powerlyra",
+    "graphx",
+    "graphd",
+    "chaos",
+)
+
+
+def main() -> None:
+    num_servers = int(sys.argv[1]) if len(sys.argv) > 1 else 9
+    graph = load_dataset("twitter2010-s", tier="test")
+    print(f"input: {graph} on {num_servers} simulated servers\n")
+    expected, _ = reference_solution(PageRank(), graph, 200)
+
+    print(f"{'system':<12}{'s/superstep':>12}{'memory GB':>11}{'net/step':>10}  answers")
+    rows = []
+    for name in SYSTEMS:
+        result, cluster = run_system(
+            name, graph, PageRank(), num_servers=num_servers, max_supersteps=8
+        )
+        ok = np.allclose(result.values, expected, atol=1e-6)
+        t = avg_modeled_paper_scale(result, "test")
+        mem = cluster_memory_paper_gb(cluster, "test")
+        net = result.supersteps[-1].net_bytes
+        cluster.close()
+        rows.append((t, name))
+        print(
+            f"{name:<12}{t:>12.2f}{mem:>11.1f}{human_bytes(net):>10}"
+            f"  {'MATCH' if ok else 'MISMATCH'}"
+        )
+    rows.sort()
+    print(
+        f"\nfastest: {rows[0][1]}; slowest: {rows[-1][1]} "
+        f"({rows[-1][0] / rows[0][0]:.0f}x apart)"
+    )
+
+
+if __name__ == "__main__":
+    main()

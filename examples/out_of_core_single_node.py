@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Big-graph analytics on one commodity server — GraphH's headline claim.
+
+"GraphH's memory management strategy is efficient, it can process big
+graphs like EU-2015 even on a single commodity server" (§V).  This
+example runs the EU-2015 scaled analog on ONE simulated server whose
+edge cache is deliberately too small for raw tiles, and shows the §IV-B
+machinery doing its job: automatic selection of a compressed cache mode,
+partial-but-stable hit ratios, and the resulting disk traffic staying a
+fraction of a pure out-of-core engine's.
+
+    python examples/out_of_core_single_node.py
+"""
+
+from repro.apps import PageRank
+from repro.baselines import GraphDEngine
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import GraphH, MPEConfig
+from repro.graph import load_dataset
+from repro.storage import CACHE_MODES
+from repro.utils import human_bytes
+
+
+def main() -> None:
+    graph = load_dataset("eu2015-s", tier="test")
+    print(f"input: {graph} (EU-2015 scaled analog)")
+
+    # Probe the tile volume, then grant only ~45% of it as cache —
+    # the single-node regime where raw tiles cannot fit but
+    # zlib-compressed ones can.
+    with GraphH(num_servers=1) as probe:
+        manifest = probe.load_graph(graph, name="probe")
+        tile_bytes = probe.spe.total_tile_bytes(manifest)
+    capacity = int(tile_bytes * 0.45)
+    print(
+        f"tiles on disk: {human_bytes(tile_bytes)}; cache budget: "
+        f"{human_bytes(capacity)}"
+    )
+
+    config = MPEConfig(cache_capacity_bytes=capacity)
+    with GraphH(num_servers=1, config=config) as gh:
+        gh.load_graph(graph)
+        result = gh.run(PageRank(tolerance=1e-10))
+        server = gh.cluster.servers[0]
+        mode = server.cache.mode
+        print(
+            f"auto-selected cache mode {mode} ({CACHE_MODES[mode - 1]}): "
+            f"steady hit ratio "
+            f"{result.supersteps[-1].cache_hit_ratio:.2f}"
+        )
+        graphh_disk = result.total_disk_read()
+        print(
+            f"GraphH: {result.num_supersteps} supersteps, "
+            f"{human_bytes(graphh_disk)} read from disk total"
+        )
+
+    # The same job on a pure out-of-core engine for contrast.
+    with Cluster(ClusterSpec(num_servers=1)) as cluster:
+        engine = GraphDEngine(cluster)
+        baseline = engine.run(
+            PageRank(tolerance=1e-10), graph,
+            max_supersteps=result.num_supersteps,
+        )
+        agg = cluster.aggregate_counters()
+        graphd_disk = agg.disk_read + agg.disk_read_random
+        print(
+            f"GraphD (pure out-of-core): {human_bytes(graphd_disk)} read "
+            f"from disk for the same supersteps"
+        )
+    print(
+        f"the edge cache cut disk traffic {graphd_disk / max(graphh_disk, 1):.0f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

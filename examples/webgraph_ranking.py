@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Web-graph ranking across a simulated 9-server cluster.
+
+The workload the paper's introduction motivates: ranking a crawl-style
+power-law graph that is large relative to the cluster's memory.  Shows
+the knobs that make GraphH a *hybrid* system — constrained edge cache
+with automatic mode selection, hybrid compressed broadcasts, bloom-
+filter tile skipping — and prints the per-superstep telemetry that
+Figures 7 and 8 are built from.
+
+    python examples/webgraph_ranking.py
+"""
+
+import numpy as np
+
+from repro.apps import PageRank
+from repro.core import GraphH, MPEConfig
+from repro.graph import load_dataset
+from repro.storage import CACHE_MODES
+from repro.utils import human_bytes
+
+
+def main() -> None:
+    graph = load_dataset("uk2007-s", tier="test")
+    print(f"input: {graph} (UK-2007 scaled analog)")
+
+    # Starve the cache to ~40% of the per-server tile volume so the
+    # automatic mode selection has a real decision to make.
+    config = MPEConfig(
+        cache_capacity_bytes=60_000,
+        message_codec="snappylike",
+        comm_mode="hybrid",
+    )
+    with GraphH(num_servers=9, config=config) as gh:
+        gh.load_graph(graph)
+        result = gh.run(PageRank(tolerance=1e-10))
+
+        server = gh.cluster.servers[0]
+        print(
+            f"auto-selected cache mode {server.cache.mode} "
+            f"({CACHE_MODES[server.cache.mode - 1]}), capacity "
+            f"{human_bytes(server.cache.capacity_bytes)}"
+        )
+        print(
+            f"converged={result.converged} in {result.num_supersteps} "
+            f"supersteps; total network {human_bytes(result.total_net_bytes())}, "
+            f"total disk {human_bytes(result.total_disk_read())}"
+        )
+        print("superstep  updated  mode   net        disk       hit")
+        for s in result.supersteps[:: max(1, result.num_supersteps // 10)]:
+            mode = "dense" if s.message_modes and s.message_modes[0] == 0 else "sparse"
+            print(
+                f"{s.superstep:9d}  {s.updated_vertices:7d}  {mode:6s}"
+                f"{human_bytes(s.net_bytes):>9s}  {human_bytes(s.disk_read_bytes):>9s}"
+                f"  {s.cache_hit_ratio:.2f}"
+            )
+
+        ranks = result.values
+        print(
+            f"rank mass {ranks.sum():.4f}, top vertex {int(np.argmax(ranks))} "
+            f"with rank {ranks.max():.2e}"
+        )
+
+
+if __name__ == "__main__":
+    main()

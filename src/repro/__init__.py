@@ -1,0 +1,23 @@
+"""GraphH reproduction: big graph analytics in small clusters.
+
+A full Python reimplementation of the GraphH system (Sun et al., IEEE
+CLUSTER 2017) — two-stage tile partitioning, the GAB computation model,
+the compressed edge cache, and hybrid broadcasts — together with every
+substrate it needs (DFS, map-reduce pre-processing, a byte-metered
+cluster simulation) and executable versions of all seven systems the
+paper compares against.
+
+Start with :class:`repro.core.GraphH`::
+
+    from repro.core import GraphH
+    from repro.apps import PageRank
+
+    with GraphH(num_servers=4) as gh:
+        gh.load_graph(my_graph)
+        ranks = gh.run(PageRank()).values
+
+See README.md for the architecture map, DESIGN.md for the experiment
+index, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

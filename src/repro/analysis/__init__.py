@@ -1,0 +1,53 @@
+"""Experiment harness and reporting.
+
+* :mod:`repro.analysis.tables` — plain-text table/series renderers used
+  by every benchmark's printed output.
+* :mod:`repro.analysis.experiments` — one function per paper table or
+  figure, each returning an :class:`ExperimentResult` with the measured
+  rows plus the paper's claims the run is checked against.
+* ``python -m repro.analysis.run_all`` — executes every experiment and
+  rewrites ``EXPERIMENTS.md`` with paper-vs-measured records.
+"""
+
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.plots import ascii_chart
+from repro.analysis.validate import ValidationReport, cross_validate
+from repro.analysis.workload import WorkloadReport, WorkloadRunner
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    exp_fig1_memory,
+    exp_fig1_time,
+    exp_fig6_replication,
+    exp_fig7_cache_modes,
+    exp_fig8_hybrid_comm,
+    exp_fig9_pagerank,
+    exp_fig10_sssp,
+    exp_table1_datasets,
+    exp_table3_costs,
+    exp_table4_input_size,
+    exp_table5_compression,
+)
+
+__all__ = [
+    "render_table",
+    "render_series",
+    "ascii_chart",
+    "cross_validate",
+    "ValidationReport",
+    "WorkloadRunner",
+    "WorkloadReport",
+    "ExperimentResult",
+    "ALL_EXPERIMENTS",
+    "exp_table1_datasets",
+    "exp_fig1_memory",
+    "exp_fig1_time",
+    "exp_table3_costs",
+    "exp_table4_input_size",
+    "exp_table5_compression",
+    "exp_fig6_replication",
+    "exp_fig7_cache_modes",
+    "exp_fig8_hybrid_comm",
+    "exp_fig9_pagerank",
+    "exp_fig10_sssp",
+]

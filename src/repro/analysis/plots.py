@@ -1,0 +1,89 @@
+"""Terminal plotting for figure-style results.
+
+The paper's evaluation figures are log-scale line charts; the benches
+print their data as tables, and this module adds a quick visual check —
+an ASCII canvas with one mark per series — so ``pytest benchmarks/ -s``
+output reads like the original figures.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render series as a character canvas.
+
+    Non-finite and (for ``log_y``) non-positive points are skipped.
+    Each series gets a distinct mark; a legend follows the canvas.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    points: list[tuple[float, float, int]] = []
+    for idx, (_, ys) in enumerate(series.items()):
+        for x, y in zip(x_values, ys):
+            try:
+                fx, fy = float(x), float(y)
+            except (TypeError, ValueError):
+                continue
+            if not (math.isfinite(fx) and math.isfinite(fy)):
+                continue
+            if log_y and fy <= 0:
+                continue
+            points.append((fx, math.log10(fy) if log_y else fy, idx))
+    lines = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for fx, fy, idx in points:
+        col = int((fx - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((fy - y_lo) / y_span * (height - 1))
+        canvas[row][col] = _MARKS[idx % len(_MARKS)]
+
+    def fmt(v: float) -> str:
+        real = 10**v if log_y else v
+        return f"{real:.3g}"
+
+    gutter = max(len(fmt(y_hi)), len(fmt(y_lo)), len(y_label))
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = fmt(y_hi)
+        elif i == height - 1:
+            label = fmt(y_lo)
+        elif i == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}} |{''.join(row)}")
+    lines.append(f"{'':>{gutter}} +{'-' * width}")
+    lines.append(
+        f"{'':>{gutter}}  {fmt(x_lo) if not log_y else f'{x_lo:g}':<{width // 2}}"
+        f"{x_hi:>{width // 2}g}"
+    )
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{gutter}}  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Vertex-centric applications.
+
+Each application is a :class:`VertexProgram` — a model-neutral spec
+(initial values, per-edge message function, associative reduction,
+apply function, change detection) that every engine adapter consumes:
+GraphH's GAB gather/apply (Algorithms 6–7), the Pregel compute+combiner,
+PowerGraph's gather/apply/scatter, and Chaos's edge-centric streaming
+phases all derive from the same spec, which is what makes cross-engine
+answer validation meaningful.
+
+Shipped programs: PageRank, SSSP, WCC (the three named on Figure 3),
+plus BFS hop counts and in-degree centrality.
+"""
+
+from repro.apps.base import VertexProgram
+from repro.apps.pagerank import PageRank
+from repro.apps.sssp import SSSP
+from repro.apps.wcc import WCC
+from repro.apps.bfs import BFS
+from repro.apps.degree import InDegreeCentrality
+from repro.apps.katz import KatzCentrality
+from repro.apps.ppr import PersonalizedPageRank
+from repro.apps.labelprop import MaxLabelPropagation
+from repro.apps.reference import reference_solution
+
+__all__ = [
+    "VertexProgram",
+    "PageRank",
+    "SSSP",
+    "WCC",
+    "BFS",
+    "InDegreeCentrality",
+    "KatzCentrality",
+    "PersonalizedPageRank",
+    "MaxLabelPropagation",
+    "reference_solution",
+]

@@ -1,0 +1,102 @@
+"""The model-neutral vertex-program contract.
+
+A program is defined by four vectorised pieces:
+
+* ``init_values(graph)`` — the value array at superstep 0;
+* ``edge_message(src_values, out_degrees, weights)`` — one contribution
+  per edge, computed from each edge's *source* value (the Gather side of
+  GAB, the ``send_message`` side of Pregel, the Scatter of Chaos);
+* ``reduce_op`` — ``"add"`` or ``"min"``, the associative combiner;
+* ``apply(accum, old_values)`` — new value per vertex.
+
+Engines agree on semantics: a vertex whose gather received *no*
+contributions keeps ``apply(identity, old)``; a vertex is *updated* in a
+superstep iff ``value_changed(new, old)`` — which also drives GAB's
+broadcast filtering, Pregel's active set, and convergence detection.
+
+Everything operates on whole numpy arrays; no per-vertex Python calls
+occur inside any engine's superstep loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.segments import IDENTITY
+
+
+class VertexProgram:
+    """Base class; subclasses override the hooks below."""
+
+    #: "add" or "min" — must match a :mod:`repro.utils.segments` op.
+    reduce_op: str = "add"
+    #: Whether edge_message needs each source's out-degree (PageRank).
+    uses_out_degree: bool = False
+    #: Whether edge_message reads edge weights (SSSP).
+    uses_edge_weight: bool = False
+    #: Absolute tolerance for change detection (0 = exact comparison).
+    tolerance: float = 0.0
+    name: str = "program"
+
+    @property
+    def identity(self) -> float:
+        """The reduction identity (what a gather of zero edges yields)."""
+        return IDENTITY[self.reduce_op]
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def init_values(self, graph: Graph) -> np.ndarray:
+        """Initial ``float64[|V|]`` value array."""
+        raise NotImplementedError
+
+    def edge_message(
+        self,
+        src_values: np.ndarray,
+        out_degrees: np.ndarray | None,
+        weights: np.ndarray | None,
+    ) -> np.ndarray:
+        """Per-edge contribution from gathered source values.
+
+        ``src_values`` is already gathered per edge (``values[col]``);
+        ``out_degrees`` likewise per edge when ``uses_out_degree``;
+        ``weights`` per edge when ``uses_edge_weight``.
+        """
+        raise NotImplementedError
+
+    def apply(
+        self,
+        accum: np.ndarray,
+        old_values: np.ndarray,
+        vertex_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """New values from accumulators (identity where no edges).
+
+        ``vertex_ids`` tells position-dependent programs (e.g.
+        personalized PageRank's per-vertex teleport) which global
+        vertices the slice covers; ``None`` means the arrays span the
+        whole vertex space in id order.  Programs that are position-
+        independent simply ignore it.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared behaviour
+    # ------------------------------------------------------------------
+    def value_changed(self, new: np.ndarray, old: np.ndarray) -> np.ndarray:
+        """Boolean mask of vertices whose value genuinely changed."""
+        if self.tolerance > 0:
+            changed = np.abs(new - old) > self.tolerance
+            # inf -> finite transitions always count (tolerance math on
+            # infinities yields nan).
+            changed |= np.isinf(old) & ~np.isinf(new)
+            return changed
+        return new != old
+
+    def initially_active(self, graph: Graph) -> np.ndarray:
+        """Vertices active at superstep 0 (all, by default)."""
+        return np.ones(graph.num_vertices, dtype=bool)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(reduce={self.reduce_op!r})"

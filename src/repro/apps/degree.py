@@ -1,0 +1,29 @@
+"""In-degree centrality — the simplest one-superstep program.
+
+Useful as an engine smoke test: after one superstep every vertex's
+value equals its in-degree, which each engine can cross-check against
+:attr:`repro.graph.Graph.in_degrees` directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import VertexProgram
+from repro.graph.graph import Graph
+
+
+class InDegreeCentrality(VertexProgram):
+    """Each in-edge contributes 1; apply replaces the old value."""
+
+    reduce_op = "add"
+    name = "indegree"
+
+    def init_values(self, graph: Graph) -> np.ndarray:
+        return np.zeros(graph.num_vertices, dtype=np.float64)
+
+    def edge_message(self, src_values, out_degrees, weights) -> np.ndarray:
+        return np.ones_like(src_values)
+
+    def apply(self, accum, old_values, vertex_ids=None) -> np.ndarray:
+        return accum

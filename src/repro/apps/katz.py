@@ -1,0 +1,43 @@
+"""Katz centrality — an additive-fixpoint stress test for the engines.
+
+``x_{t+1}(v) = alpha * sum_{u in Γin(v)} x_t(u) + beta`` converges to
+the Katz index when ``alpha`` is below the reciprocal spectral radius.
+Unlike PageRank it has no per-source normalisation, so it exercises the
+``add`` path without the out-degree array — a distinct engine
+configuration (``uses_out_degree=False`` with reduce ``add``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import VertexProgram
+from repro.graph.graph import Graph
+
+
+class KatzCentrality(VertexProgram):
+    """Katz index via synchronous fixpoint iteration."""
+
+    reduce_op = "add"
+    name = "katz"
+
+    def __init__(
+        self,
+        alpha: float = 0.005,
+        beta: float = 1.0,
+        tolerance: float = 1e-10,
+    ) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.tolerance = float(tolerance)
+
+    def init_values(self, graph: Graph) -> np.ndarray:
+        return np.full(graph.num_vertices, self.beta)
+
+    def edge_message(self, src_values, out_degrees, weights) -> np.ndarray:
+        return src_values
+
+    def apply(self, accum, old_values, vertex_ids=None) -> np.ndarray:
+        return self.alpha * accum + self.beta

@@ -1,0 +1,44 @@
+"""Single-machine reference executor for any :class:`VertexProgram`.
+
+A direct, whole-graph fixpoint iteration with the same BSP semantics as
+every distributed engine (synchronous updates, identity accumulator for
+in-edge-free vertices).  It is deliberately the simplest possible
+correct implementation — ~20 lines over the graph's CSC arrays — and is
+what all engines are validated against (alongside networkx in tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import VertexProgram
+from repro.graph.graph import Graph
+from repro.utils.segments import segment_reduce
+
+
+def reference_solution(
+    program: VertexProgram,
+    graph: Graph,
+    max_supersteps: int = 1000,
+) -> tuple[np.ndarray, int]:
+    """Run ``program`` to convergence (or ``max_supersteps``).
+
+    Returns ``(values, supersteps_executed)``.
+    """
+    values = program.init_values(graph).astype(np.float64, copy=True)
+    indptr, src_sorted, weights_sorted = graph.csc_arrays()
+    out_deg = (
+        graph.out_degrees[src_sorted] if program.uses_out_degree else None
+    )
+    weights = weights_sorted if program.uses_edge_weight else None
+    steps = 0
+    for _ in range(max_supersteps):
+        contributions = program.edge_message(values[src_sorted], out_deg, weights)
+        accum = segment_reduce(contributions, indptr, program.reduce_op)
+        new_values = program.apply(accum, values)
+        steps += 1
+        changed = program.value_changed(new_values, values)
+        values = new_values
+        if not changed.any():
+            break
+    return values, steps

@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The surface a downstream user touches first:
+
+* ``generate`` — write a synthetic graph to an edge-list CSV;
+* ``stats``    — Table-I-style statistics for an edge-list file;
+* ``pagerank`` / ``sssp`` / ``wcc`` — run an algorithm on an edge-list
+  file through GraphH and write/print the per-vertex results;
+* ``shootout`` — compare all systems on one input (Figure-9-style row).
+
+Every command takes ``--servers`` for the simulated cluster width.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.apps import (
+    BFS,
+    SSSP,
+    KatzCentrality,
+    PageRank,
+    PersonalizedPageRank,
+)
+from repro.core import GraphH, MPEConfig
+from repro.graph import (
+    Graph,
+    chung_lu_graph,
+    compute_stats,
+    grid_graph,
+    load_edge_list_binary,
+    load_edge_list_csv,
+    rmat_graph,
+    save_edge_list_binary,
+    save_edge_list_csv,
+    watts_strogatz_graph,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--servers", type=int, default=1, help="cluster width")
+    parser.add_argument(
+        "--tile-edges", type=int, default=None, help="edges per tile (S)"
+    )
+    parser.add_argument(
+        "--output", default=None, help="write per-vertex values to this CSV"
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="print the top-K vertices"
+    )
+
+
+def _load(path: str) -> Graph:
+    """Load a graph, auto-detecting the binary format by extension/magic."""
+    if str(path).endswith(".bin"):
+        return load_edge_list_binary(path)
+    with open(path, "rb") as fh:
+        if fh.read(4) == b"GHBE":
+            return load_edge_list_binary(path)
+    return load_edge_list_csv(path)
+
+
+def _emit(values: np.ndarray, args, descending: bool = True) -> None:
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as fh:
+            for v, x in enumerate(values.tolist()):
+                fh.write(f"{v},{x}\n")
+        print(f"wrote {values.size} values to {args.output}")
+    order = np.argsort(values)
+    if descending:
+        order = order[::-1]
+    print(f"top {args.top} vertices:")
+    for v in order[: args.top]:
+        print(f"  {v}\t{values[v]}")
+
+
+def cmd_generate(args) -> int:
+    if args.kind == "rmat":
+        graph = rmat_graph(scale=args.scale, edge_factor=args.edge_factor, seed=args.seed)
+    elif args.kind == "powerlaw":
+        num_vertices = 1 << args.scale
+        graph = chung_lu_graph(
+            num_vertices, int(num_vertices * args.edge_factor), seed=args.seed
+        )
+    elif args.kind == "smallworld":
+        graph = watts_strogatz_graph(
+            1 << args.scale, k=max(1, int(args.edge_factor)), seed=args.seed
+        )
+    else:
+        side = 1 << (args.scale // 2)
+        graph = grid_graph(side, side, seed=args.seed)
+    if str(args.path).endswith(".bin"):
+        nbytes = save_edge_list_binary(graph, args.path)
+    else:
+        nbytes = save_edge_list_csv(graph, args.path)
+    print(f"wrote {graph.num_edges} edges ({nbytes} bytes) to {args.path}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    stats = compute_stats(_load(args.path))
+    for field_name, value in zip(
+        ("graph", "|V|", "|E|", "avg degree", "max in", "max out", "CSV"),
+        stats.row(),
+    ):
+        print(f"{field_name:>12}: {value}")
+    return 0
+
+
+def _run(graph: Graph, program, args):
+    with GraphH(num_servers=args.servers, config=MPEConfig()) as gh:
+        gh.load_graph(graph, avg_tile_edges=args.tile_edges)
+        result = gh.run(program)
+        print(
+            f"{program.name}: {result.num_supersteps} supersteps, "
+            f"converged={result.converged}"
+        )
+        return result.values
+
+
+def cmd_pagerank(args) -> int:
+    values = _run(_load(args.path), PageRank(damping=args.damping), args)
+    _emit(values, args)
+    return 0
+
+
+def cmd_sssp(args) -> int:
+    values = _run(_load(args.path), SSSP(source=args.source), args)
+    reachable = np.isfinite(values)
+    print(f"{int(reachable.sum())} vertices reachable from {args.source}")
+    _emit(np.where(reachable, values, np.inf), args, descending=False)
+    return 0
+
+
+def cmd_bfs(args) -> int:
+    values = _run(_load(args.path), BFS(source=args.source), args)
+    reachable = np.isfinite(values)
+    print(f"{int(reachable.sum())} vertices reachable from {args.source}")
+    _emit(np.where(reachable, values, np.inf), args, descending=False)
+    return 0
+
+
+def cmd_katz(args) -> int:
+    values = _run(
+        _load(args.path), KatzCentrality(alpha=args.alpha, beta=args.beta), args
+    )
+    _emit(values, args)
+    return 0
+
+
+def cmd_ppr(args) -> int:
+    seeds = [int(s) for s in args.seeds.split(",")]
+    values = _run(
+        _load(args.path),
+        PersonalizedPageRank(seeds, damping=args.damping),
+        args,
+    )
+    _emit(values, args)
+    return 0
+
+
+def cmd_wcc(args) -> int:
+    graph = _load(args.path)
+    with GraphH(num_servers=args.servers) as gh:
+        gh.load_graph(graph, avg_tile_edges=args.tile_edges)
+        labels = gh.wcc()
+    components, sizes = np.unique(labels, return_counts=True)
+    print(f"{components.size} weakly connected components")
+    order = np.argsort(sizes)[::-1]
+    for i in order[: args.top]:
+        print(f"  component {int(components[i])}: {int(sizes[i])} vertices")
+    if args.output:
+        _emit(labels, args)
+    return 0
+
+
+def cmd_shootout(args) -> int:
+    from repro.analysis.experiments import avg_modeled_paper_scale, run_system
+
+    graph = _load(args.path)
+    systems = ["graphh", "pregel+", "powergraph", "powerlyra", "graphd", "chaos"]
+    print(f"{'system':<12}{'modeled s/superstep':>20}")
+    for name in systems:
+        result, cluster = run_system(
+            name, graph, PageRank(), num_servers=args.servers, max_supersteps=5
+        )
+        cluster.close()
+        # raw (unscaled) modeled time: the CLI input is the real graph.
+        t = np.mean([s.modeled.total_s for s in result.supersteps[1:]])
+        print(f"{name:<12}{t:>20.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GraphH reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser(
+        "generate", help="write a synthetic edge list (.csv or .bin)"
+    )
+    g.add_argument("path")
+    g.add_argument(
+        "--kind",
+        choices=("rmat", "powerlaw", "grid", "smallworld"),
+        default="rmat",
+    )
+    g.add_argument("--scale", type=int, default=10, help="log2 vertex count")
+    g.add_argument("--edge-factor", type=float, default=16.0)
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(func=cmd_generate)
+
+    s = sub.add_parser("stats", help="Table-I statistics for an edge list")
+    s.add_argument("path")
+    s.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("pagerank", help="PageRank over GraphH")
+    p.add_argument("path")
+    p.add_argument("--damping", type=float, default=0.85)
+    _add_common(p)
+    p.set_defaults(func=cmd_pagerank)
+
+    d = sub.add_parser("sssp", help="single-source shortest paths")
+    d.add_argument("path")
+    d.add_argument("--source", type=int, default=0)
+    _add_common(d)
+    d.set_defaults(func=cmd_sssp)
+
+    b = sub.add_parser("bfs", help="hop counts from a source")
+    b.add_argument("path")
+    b.add_argument("--source", type=int, default=0)
+    _add_common(b)
+    b.set_defaults(func=cmd_bfs)
+
+    k = sub.add_parser("katz", help="Katz centrality")
+    k.add_argument("path")
+    k.add_argument("--alpha", type=float, default=0.005)
+    k.add_argument("--beta", type=float, default=1.0)
+    _add_common(k)
+    k.set_defaults(func=cmd_katz)
+
+    r = sub.add_parser("ppr", help="personalized PageRank from seed vertices")
+    r.add_argument("path")
+    r.add_argument("--seeds", required=True, help="comma-separated vertex ids")
+    r.add_argument("--damping", type=float, default=0.85)
+    _add_common(r)
+    r.set_defaults(func=cmd_ppr)
+
+    w = sub.add_parser("wcc", help="weakly connected components")
+    w.add_argument("path")
+    _add_common(w)
+    w.set_defaults(func=cmd_wcc)
+
+    x = sub.add_parser("shootout", help="compare all systems on one input")
+    x.add_argument("path")
+    x.add_argument("--servers", type=int, default=4)
+    x.set_defaults(func=cmd_shootout)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Simulated cluster: servers, testbed spec, and per-server counters.
+
+The paper's testbed is 9 servers, each with 12×2.0 GHz cores, 128 GB
+RAM, 4×4 TB HDDs in RAID5 (~310 MB/s sequential read) and 10 Gbps
+Ethernet (Figure 1 caption, §IV-B).  :class:`ClusterSpec` carries those
+constants; :class:`Cluster` instantiates ``N`` :class:`Server` objects,
+each with its own real on-disk blob store, edge cache, and counters.
+
+The simulation executes real data movement — tiles genuinely round-trip
+through each server's disk directory, update messages are real byte
+payloads — and every byte is metered so the cost model can convert
+volumes into paper-calibrated time.
+"""
+
+from repro.cluster.spec import ClusterSpec, PAPER_TESTBED
+from repro.cluster.counters import Counters
+from repro.cluster.server import Server
+from repro.cluster.cluster import Cluster
+
+__all__ = ["ClusterSpec", "PAPER_TESTBED", "Counters", "Server", "Cluster"]

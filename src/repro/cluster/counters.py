@@ -1,0 +1,136 @@
+"""Per-server resource counters.
+
+Every engine charges its activity here; the Table III property tests and
+the cost model both consume these numbers.  Memory is tracked by
+category (vertex state / edge storage / message buffers / cache) with a
+running peak, mirroring how the paper decomposes each system's RAM row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counters:
+    """Mutable counters for one server (or one aggregate view)."""
+
+    # --- memory, current bytes by category -------------------------------
+    mem_vertex: int = 0
+    mem_edges: int = 0
+    mem_messages: int = 0
+    mem_cache: int = 0
+    mem_scratch: int = 0
+    mem_peak: int = 0
+
+    # --- I/O volumes ------------------------------------------------------
+    disk_read: int = 0
+    # Seek-bound reads (concurrent per-tile cache-miss fetches), charged
+    # at the spec's lower random-read bandwidth.
+    disk_read_random: int = 0
+    disk_write: int = 0
+    net_sent: int = 0
+    net_recv: int = 0
+
+    # --- work volumes -----------------------------------------------------
+    edges_processed: int = 0
+    messages_sent: int = 0
+    # Per-message handling work (serialise/route/combine) in
+    # message-passing engines; GraphH's dense-array broadcast application
+    # is bandwidth-bound and deliberately charges nothing here.
+    messages_processed: int = 0
+    decompressed: dict[str, int] = field(default_factory=dict)
+    compressed: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mem_current(self) -> int:
+        """Sum of all live memory categories."""
+        return (
+            self.mem_vertex
+            + self.mem_edges
+            + self.mem_messages
+            + self.mem_cache
+            + self.mem_scratch
+        )
+
+    def _bump_peak(self) -> None:
+        if self.mem_current > self.mem_peak:
+            self.mem_peak = self.mem_current
+
+    def add_memory(self, category: str, nbytes: int) -> None:
+        """Adjust a memory category (negative to release) and track peak."""
+        attr = f"mem_{category}"
+        if not hasattr(self, attr):
+            raise ValueError(f"unknown memory category {category!r}")
+        new = getattr(self, attr) + int(nbytes)
+        if new < 0:
+            raise ValueError(f"memory category {category} went negative")
+        setattr(self, attr, new)
+        self._bump_peak()
+
+    def set_memory(self, category: str, nbytes: int) -> None:
+        """Set a memory category to an absolute value."""
+        attr = f"mem_{category}"
+        if not hasattr(self, attr):
+            raise ValueError(f"unknown memory category {category!r}")
+        if nbytes < 0:
+            raise ValueError("memory cannot be negative")
+        setattr(self, attr, int(nbytes))
+        self._bump_peak()
+
+    def add_decompressed(self, codec: str, nbytes: int) -> None:
+        """Meter decompression work for a codec."""
+        self.decompressed[codec] = self.decompressed.get(codec, 0) + int(nbytes)
+
+    def add_compressed(self, codec: str, nbytes: int) -> None:
+        """Meter compression work for a codec."""
+        self.compressed[codec] = self.compressed.get(codec, 0) + int(nbytes)
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another counter set into this one.
+
+        Peaks add (an aggregate view over servers holds all their data
+        at once); volumes add.
+        """
+        self.mem_vertex += other.mem_vertex
+        self.mem_edges += other.mem_edges
+        self.mem_messages += other.mem_messages
+        self.mem_cache += other.mem_cache
+        self.mem_scratch += other.mem_scratch
+        self.mem_peak += other.mem_peak
+        self.disk_read += other.disk_read
+        self.disk_read_random += other.disk_read_random
+        self.disk_write += other.disk_write
+        self.net_sent += other.net_sent
+        self.net_recv += other.net_recv
+        self.edges_processed += other.edges_processed
+        self.messages_sent += other.messages_sent
+        self.messages_processed += other.messages_processed
+        for codec, n in other.decompressed.items():
+            self.add_decompressed(codec, n)
+        for codec, n in other.compressed.items():
+            self.add_compressed(codec, n)
+
+    def snapshot(self) -> dict[str, int]:
+        """Flat dict view (for reports and diffing)."""
+        out = {
+            "mem_vertex": self.mem_vertex,
+            "mem_edges": self.mem_edges,
+            "mem_messages": self.mem_messages,
+            "mem_cache": self.mem_cache,
+            "mem_scratch": self.mem_scratch,
+            "mem_peak": self.mem_peak,
+            "disk_read": self.disk_read,
+            "disk_read_random": self.disk_read_random,
+            "disk_write": self.disk_write,
+            "net_sent": self.net_sent,
+            "net_recv": self.net_recv,
+            "edges_processed": self.edges_processed,
+            "messages_sent": self.messages_sent,
+            "messages_processed": self.messages_processed,
+        }
+        for codec, n in self.decompressed.items():
+            out[f"decompressed_{codec}"] = n
+        for codec, n in self.compressed.items():
+            out[f"compressed_{codec}"] = n
+        return out

@@ -1,0 +1,76 @@
+"""Metered point-to-point / broadcast channel between simulated servers.
+
+Stands in for the paper's ZMQ broadcast layer (§III-A: "to improve the
+communication performance, we use ZMQ to implement a broadcast interface
+instead of using MPI_Bcast").  Payloads are real byte strings delivered
+into per-destination mailboxes; the channel meters per-server sent and
+received bytes, from which the cost model charges network time and from
+which Figure 8's traffic curves are plotted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.cluster.server import Server
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One delivered message."""
+
+    src: int
+    payload: bytes
+
+
+class Channel:
+    """Mailbox-based message fabric over a fixed server set."""
+
+    def __init__(self, servers: list[Server]) -> None:
+        if not servers:
+            raise ValueError("channel needs at least one server")
+        self.servers = servers
+        self._mailboxes: list[deque[Envelope]] = [deque() for _ in servers]
+        self.total_bytes = 0
+        self.total_messages = 0
+
+    def _check(self, server_id: int) -> None:
+        if not 0 <= server_id < len(self.servers):
+            raise ValueError(f"unknown server id {server_id}")
+
+    def send(self, src: int, dst: int, payload: bytes) -> None:
+        """Point-to-point send; local sends move no network bytes."""
+        self._check(src)
+        self._check(dst)
+        if src != dst:
+            self.servers[src].counters.net_sent += len(payload)
+            self.servers[dst].counters.net_recv += len(payload)
+            self.total_bytes += len(payload)
+            self.total_messages += 1
+        self.servers[src].counters.messages_sent += 1
+        self._mailboxes[dst].append(Envelope(src=src, payload=payload))
+
+    def broadcast(self, src: int, payload: bytes) -> None:
+        """Deliver to every *other* server (§III-C's Broadcast step)."""
+        self._check(src)
+        for dst in range(len(self.servers)):
+            if dst != src:
+                self.send(src, dst, payload)
+
+    def receive_all(self, dst: int) -> list[Envelope]:
+        """Drain a server's mailbox (BSP: called at the barrier)."""
+        self._check(dst)
+        out = list(self._mailboxes[dst])
+        self._mailboxes[dst].clear()
+        return out
+
+    def pending(self, dst: int) -> int:
+        """Messages waiting in a mailbox."""
+        self._check(dst)
+        return len(self._mailboxes[dst])
+
+    def reset_meters(self) -> None:
+        """Zero channel-level traffic totals (mailboxes untouched)."""
+        self.total_bytes = 0
+        self.total_messages = 0

@@ -1,0 +1,27 @@
+"""GraphH core: the paper's primary contribution.
+
+* :mod:`repro.core.spe` — Spark-based graph pre-processing engine
+  (Algorithm 4 on the :mod:`repro.mapreduce` substrate): raw edges →
+  tiles + degree arrays, persisted into DFS.
+* :mod:`repro.core.mpe` — MPI-based graph processing engine: the GAB
+  (Gather-Apply-Broadcast) superstep loop of Algorithm 5, with All-in-All
+  vertex replication, the edge cache, bloom-filter tile skipping, and
+  hybrid compressed broadcasts.
+* :mod:`repro.core.facade` — the one-object public API
+  (:class:`GraphH`) tying SPE and MPE together, pre-processing once and
+  running many vertex programs, exactly like Figure 3's pipeline.
+"""
+
+from repro.core.spe import SPE, TileManifest
+from repro.core.mpe import MPE, MPEConfig, RunResult, SuperstepReport
+from repro.core.facade import GraphH
+
+__all__ = [
+    "SPE",
+    "TileManifest",
+    "MPE",
+    "MPEConfig",
+    "RunResult",
+    "SuperstepReport",
+    "GraphH",
+]

@@ -1,0 +1,103 @@
+"""Superstep checkpointing for the MPE.
+
+The paper's engine restarts failed jobs from scratch; long-running
+programs on big graphs make that expensive, so the reproduction adds
+the natural BSP checkpoint extension: after the barrier of every k-th
+superstep the engine snapshots the (globally consistent) vertex values
+and the previous-superstep update set into the DFS, and a fresh MPE can
+resume from the newest snapshot instead of superstep 0.
+
+A checkpoint is a single DFS blob::
+
+    [8B superstep][8B |V|][8B n_updated]
+    [float64 values[|V|]][int64 updated_ids[n_updated]]
+
+Snapshots are written once per checkpointed superstep (the value state
+is replicated, so any server's copy is authoritative after the barrier)
+and the write is metered as DFS traffic on server 0.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dfs import DistributedFileSystem
+
+_HEADER = struct.Struct("<qqq")
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One recovered snapshot."""
+
+    superstep: int
+    values: np.ndarray
+    prev_updated: np.ndarray
+
+
+def checkpoint_path(dataset: str, program: str, superstep: int) -> str:
+    """DFS path for a snapshot."""
+    return f"{dataset}/ckpt-{program}-{superstep:08d}"
+
+
+def write_checkpoint(
+    dfs: DistributedFileSystem,
+    dataset: str,
+    program: str,
+    superstep: int,
+    values: np.ndarray,
+    prev_updated: np.ndarray,
+) -> str:
+    """Persist a snapshot; returns its DFS path."""
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    updated = np.ascontiguousarray(prev_updated, dtype=np.int64)
+    blob = (
+        _HEADER.pack(superstep, values.size, updated.size)
+        + values.tobytes()
+        + updated.tobytes()
+    )
+    path = checkpoint_path(dataset, program, superstep)
+    dfs.write(path, blob)
+    return path
+
+
+def load_checkpoint(dfs: DistributedFileSystem, path: str) -> Checkpoint:
+    """Read one snapshot back."""
+    blob = dfs.read(path)
+    if len(blob) < _HEADER.size:
+        raise ValueError("truncated checkpoint")
+    superstep, num_values, num_updated = _HEADER.unpack_from(blob)
+    offset = _HEADER.size
+    values = np.frombuffer(blob, dtype=np.float64, count=num_values, offset=offset)
+    offset += num_values * 8
+    updated = np.frombuffer(blob, dtype=np.int64, count=num_updated, offset=offset)
+    if offset + num_updated * 8 != len(blob):
+        raise ValueError("checkpoint size mismatch")
+    return Checkpoint(
+        superstep=superstep, values=values.copy(), prev_updated=updated.copy()
+    )
+
+
+def latest_checkpoint(
+    dfs: DistributedFileSystem, dataset: str, program: str
+) -> Checkpoint | None:
+    """Newest snapshot for a (dataset, program) pair, if any."""
+    prefix = f"{dataset}/ckpt-{program}-"
+    paths = dfs.list_files(prefix)
+    if not paths:
+        return None
+    return load_checkpoint(dfs, paths[-1])
+
+
+def clear_checkpoints(
+    dfs: DistributedFileSystem, dataset: str, program: str
+) -> int:
+    """Delete all snapshots for a (dataset, program) pair."""
+    prefix = f"{dataset}/ckpt-{program}-"
+    paths = dfs.list_files(prefix)
+    for path in paths:
+        dfs.delete(path)
+    return len(paths)

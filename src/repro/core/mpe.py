@@ -1,0 +1,604 @@
+"""MPE: the MPI-based graph processing engine running GAB (§III-C, Alg. 5).
+
+Execution model
+---------------
+* Stage-two partitioning: tile ``i`` goes to server ``i mod N``; each
+  server fetches its tiles from DFS onto local disk once, at setup.
+* All-in-All replication: every server holds the full ``float64[|V|]``
+  value array, a ``float64[|V|]`` incoming-update buffer, and (when the
+  program needs it) the ``int32[|V|]`` out-degree array — 20 bytes per
+  vertex, §IV-A's accounting.
+* Superstep (Algorithm 5): every server streams its tiles through
+  memory one at a time — skipping tiles whose bloom filter proves no
+  source vertex updated last superstep — runs the vectorised
+  gather/apply over each tile's target range, buffers changed values,
+  then broadcasts them with the hybrid dense/sparse codec-compressed
+  message.  A BSP barrier applies all updates to every replica.
+* The edge cache (§IV-B) sits between tile loads and the local disk;
+  its mode is auto-selected from the capacity constraint unless forced.
+
+The per-tile inner kernel is pure numpy (gather by ``uint32`` index,
+:func:`repro.utils.segments.segment_reduce`, vectorised apply), so the
+Python interpreter only appears at tile granularity — the same place the
+paper's OpenMP worker boundary sits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import VertexProgram
+from repro.cluster.cluster import Cluster
+from repro.comm import Channel, decode_update, encode_update
+from repro.comm.messages import DENSE, SPARSE, SPARSITY_THRESHOLD
+from repro.core.spe import SPE, TileManifest
+from repro.core.vertexstore import AllInAllStore, OnDemandStore
+from repro.metrics.cost import CostModel, SuperstepCost
+from repro.metrics.schedule import effective_parallel_volume
+from repro.partition.tiles import (
+    Tile,
+    assign_tiles_balanced,
+    assign_tiles_round_robin,
+)
+from repro.storage.cache import select_cache_mode
+from repro.utils.bloom import BloomFilter
+from repro.utils.segments import segment_reduce
+
+
+@dataclass(frozen=True)
+class MPEConfig:
+    """Tunables for one MPE instance (defaults = the paper's)."""
+
+    cache_capacity_bytes: int | None = None  # None → unlimited (all idle RAM)
+    cache_mode: int | None = None  # None → auto-select (§IV-B)
+    message_codec: str = "snappylike"  # Figure 8d's winner
+    comm_mode: str = "hybrid"  # "hybrid" | "dense" | "sparse"
+    sparsity_threshold: float = SPARSITY_THRESHOLD
+    use_bloom_filters: bool = True
+    bloom_false_positive_rate: float = 0.01
+    replication_policy: str = "aa"  # "aa" (paper default, §IV-A) | "od"
+    # Stage-two tile placement: "round_robin" (paper §III-C.1) or
+    # "balanced" (LPT over tile sizes — better stragglers on skew).
+    tile_assignment: str = "round_robin"
+    max_supersteps: int = 200
+    # Snapshot values+update-set into DFS every k supersteps; None
+    # disables.  See repro.core.checkpoint.
+    checkpoint_every: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.comm_mode not in ("hybrid", "dense", "sparse"):
+            raise ValueError("comm_mode must be hybrid, dense, or sparse")
+        if self.replication_policy not in ("aa", "od"):
+            raise ValueError('replication_policy must be "aa" or "od"')
+        if self.tile_assignment not in ("round_robin", "balanced"):
+            raise ValueError(
+                'tile_assignment must be "round_robin" or "balanced"'
+            )
+        if self.max_supersteps < 1:
+            raise ValueError("max_supersteps must be >= 1")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 or None")
+
+
+@dataclass
+class SuperstepReport:
+    """Per-superstep measurements."""
+
+    superstep: int
+    updated_vertices: int
+    tiles_processed: int
+    tiles_skipped: int
+    net_bytes: int
+    disk_read_bytes: int
+    cache_hit_ratio: float
+    message_modes: list[int] = field(default_factory=list)
+    modeled: SuperstepCost | None = None
+    wall_s: float = 0.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one vertex program execution."""
+
+    values: np.ndarray
+    supersteps: list[SuperstepReport]
+    converged: bool
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    def trace(self) -> list[dict]:
+        """Per-superstep telemetry as plain dicts (JSON-serialisable)."""
+        out = []
+        for s in self.supersteps:
+            row = {
+                "superstep": s.superstep,
+                "updated_vertices": s.updated_vertices,
+                "tiles_processed": s.tiles_processed,
+                "tiles_skipped": s.tiles_skipped,
+                "net_bytes": s.net_bytes,
+                "disk_read_bytes": s.disk_read_bytes,
+                "cache_hit_ratio": round(s.cache_hit_ratio, 4),
+                "message_modes": list(s.message_modes),
+                "wall_s": round(s.wall_s, 6),
+            }
+            if s.modeled is not None:
+                row["modeled_s"] = {
+                    "disk": s.modeled.disk_s,
+                    "network": s.modeled.network_s,
+                    "decompress": s.modeled.decompress_s,
+                    "compute": s.modeled.compute_s,
+                    "sync": s.modeled.sync_s,
+                    "total": s.modeled.total_s,
+                }
+            out.append(row)
+        return out
+
+    def save_trace(self, path: str) -> None:
+        """Write the telemetry trace as JSON."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"converged": self.converged, "supersteps": self.trace()},
+                fh,
+                indent=1,
+            )
+
+    def total_net_bytes(self) -> int:
+        return sum(s.net_bytes for s in self.supersteps)
+
+    def total_disk_read(self) -> int:
+        return sum(s.disk_read_bytes for s in self.supersteps)
+
+    def avg_superstep_modeled_s(self, skip_first: bool = True) -> float:
+        """The paper's metric: mean modeled time, first superstep excluded."""
+        steps = self.supersteps[1:] if skip_first and len(self.supersteps) > 1 else self.supersteps
+        if not steps:
+            return 0.0
+        return float(np.mean([s.modeled.total_s for s in steps if s.modeled]))
+
+
+class MPE:
+    """GAB executor over a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        manifest: TileManifest,
+        config: MPEConfig | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.manifest = manifest
+        self.config = config or MPEConfig()
+        self.channel = Channel(cluster.servers)
+        self.spe = SPE(cluster.dfs)
+        self._tiles_fetched = False
+        # Per-server: list of (tile_id, blob_name, nbytes); bloom filters.
+        self._assignments: list[list[tuple[int, str, int]]] = []
+        self._blooms: dict[int, BloomFilter] = {}
+        self._tile_nbytes_total = 0
+        # Per-server sorted global ids of the targets its tiles own —
+        # the shared static index behind range-dense broadcasts.
+        self._server_target_ids: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # Setup: fetch tiles, build blooms, size caches
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Stage-two assignment + local fetch (idempotent)."""
+        if self._tiles_fetched:
+            return
+        n = self.cluster.num_servers
+        self._assignments = [[] for _ in range(n)]
+        self._server_sources: list[list[np.ndarray]] = [[] for _ in range(n)]
+        per_server_bytes = [0] * n
+        # Stage-two placement: the paper's round-robin, or LPT over the
+        # serialised tile sizes (known to the namenode without reads).
+        if self.config.tile_assignment == "balanced":
+            sizes = [
+                self.cluster.dfs.size(self.manifest.tile_path(t))
+                for t in range(self.manifest.num_tiles)
+            ]
+            placement = assign_tiles_balanced(sizes, n)
+        else:
+            placement = assign_tiles_round_robin(self.manifest.num_tiles, n)
+        tile_owner = {
+            tile_id: server_id
+            for server_id, tiles in enumerate(placement)
+            for tile_id in tiles
+        }
+        for tile_id in range(self.manifest.num_tiles):
+            server_id = tile_owner[tile_id]
+            server = self.cluster.servers[server_id]
+            blob = self.cluster.dfs.read(
+                self.manifest.tile_path(tile_id), prefer_datanode=server_id
+            )
+            name = f"tile-{tile_id}"
+            server.store_blob(name, blob)
+            self._assignments[server_id].append((tile_id, name, len(blob)))
+            per_server_bytes[server_id] += len(blob)
+            if self.config.use_bloom_filters or self.config.replication_policy == "od":
+                tile = Tile.from_bytes(blob)
+                if self.config.use_bloom_filters:
+                    self._blooms[tile_id] = tile.build_bloom_filter(
+                        self.config.bloom_false_positive_rate
+                    )
+                if self.config.replication_policy == "od":
+                    self._server_sources[server_id].append(tile.source_vertices)
+        self._tile_nbytes_total = sum(per_server_bytes)
+        # Targets owned per server: the concatenation of its tiles'
+        # (ascending) target ranges.  Known statically on every server,
+        # so broadcasts address vertices by *local* index (§IV-C's dense
+        # array covers only the sender's updated-value buffer, keeping
+        # traffic O(N|V|) cluster-wide, Table III).
+        splitter = self.manifest.splitter
+        self._server_target_ids = []
+        for server_id in range(n):
+            ranges = [
+                np.arange(splitter[tid], splitter[tid + 1], dtype=np.int64)
+                for tid, _, _ in self._assignments[server_id]
+            ]
+            self._server_target_ids.append(
+                np.concatenate(ranges) if ranges else np.zeros(0, dtype=np.int64)
+            )
+        # Edge cache per server (§IV-B): capacity = configured budget,
+        # mode auto-selected from the server's own tile volume.
+        for server_id, server in enumerate(self.cluster.servers):
+            capacity = self.config.cache_capacity_bytes
+            if capacity is None:
+                capacity = max(per_server_bytes[server_id], 1)
+            mode = self.config.cache_mode
+            if mode is None:
+                mode = select_cache_mode(per_server_bytes[server_id], capacity)
+            server.attach_cache(capacity_bytes=capacity, mode=mode)
+        self._tiles_fetched = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: VertexProgram,
+        graph_for_init=None,
+        resume: bool = False,
+    ) -> RunResult:
+        """Execute one vertex program to convergence (Algorithm 5).
+
+        ``graph_for_init`` is only consulted by programs whose
+        ``init_values`` needs graph metadata beyond what the manifest
+        holds; the degree arrays always come from DFS like the paper's.
+        ``resume=True`` restarts from the newest DFS checkpoint for this
+        (dataset, program) pair, if one exists.
+        """
+        from repro.core.checkpoint import latest_checkpoint, write_checkpoint
+
+        self.setup()
+        cfg = self.config
+        num_vertices = self.manifest.num_vertices
+        in_degrees, out_degrees = self.spe.load_degrees(self.manifest)
+
+        init_graph = graph_for_init or _ManifestGraphView(
+            num_vertices, self.manifest.num_edges, in_degrees, out_degrees
+        )
+        init_values = program.init_values(init_graph).astype(np.float64, copy=True)
+        if init_values.size != num_vertices:
+            raise ValueError("program init_values size mismatch with manifest")
+
+        start_superstep = 0
+        resumed_updated: np.ndarray | None = None
+        if resume:
+            snapshot = latest_checkpoint(
+                self.cluster.dfs, self.manifest.name, program.name
+            )
+            if snapshot is not None:
+                if snapshot.values.size != num_vertices:
+                    raise ValueError("checkpoint does not match this dataset")
+                init_values = snapshot.values.copy()
+                start_superstep = snapshot.superstep + 1
+                resumed_updated = snapshot.prev_updated
+
+        servers = self.cluster.servers
+        degrees = out_degrees if program.uses_out_degree else None
+        for server in servers:
+            if cfg.replication_policy == "aa":
+                # All-in-All: full dense arrays on every server.
+                store = AllInAllStore(init_values, degrees)
+            else:
+                # On-Demand: only this server's tile sources ∪ targets.
+                pieces = self._server_sources[server.server_id] + [
+                    self._server_target_ids[server.server_id]
+                ]
+                local = (
+                    np.unique(np.concatenate(pieces))
+                    if pieces
+                    else np.zeros(0, dtype=np.int64)
+                )
+                store = OnDemandStore(init_values, degrees, local)
+            server.state["store"] = store
+            vertex_bytes, message_bytes = store.memory_bytes()
+            server.counters.set_memory("vertex", vertex_bytes)
+            # Incoming-update buffer (the message array of §III-C.1).
+            server.counters.set_memory("messages", message_bytes)
+
+        # Vertices "updated" in the previous superstep — drives bloom
+        # skipping.  Superstep 0 processes everything (initial load); a
+        # resumed run continues with the checkpointed update set.
+        prev_updated: np.ndarray | None = resumed_updated
+        reports: list[SuperstepReport] = []
+        cost_model = CostModel(self.cluster.spec)
+        converged = False
+
+        for superstep in range(start_superstep, cfg.max_supersteps):
+            t0 = time.perf_counter()
+            before = {s.server_id: _snapshot(s) for s in servers}
+            tiles_processed = 0
+            tiles_skipped = 0
+            message_modes: list[int] = []
+            all_updates: list[tuple[np.ndarray, np.ndarray]] = []
+
+            for server in servers:
+                store = server.state["store"]
+                changed_ids_parts: list[np.ndarray] = []
+                changed_vals_parts: list[np.ndarray] = []
+                tile_edge_counts: list[int] = []
+                for tile_id, blob_name, nbytes in self._assignments[
+                    server.server_id
+                ]:
+                    if (
+                        superstep > 0
+                        and cfg.use_bloom_filters
+                        and prev_updated is not None
+                        and not self._blooms[tile_id].might_intersect(prev_updated)
+                    ):
+                        tiles_skipped += 1
+                        continue
+                    tile = Tile.from_bytes(server.load_blob(blob_name))
+                    server.counters.add_memory("scratch", nbytes)
+                    ids, vals = _process_tile(program, tile, store)
+                    server.counters.add_memory("scratch", -nbytes)
+                    tile_edge_counts.append(tile.num_edges)
+                    tiles_processed += 1
+                    if ids.size:
+                        changed_ids_parts.append(ids)
+                        changed_vals_parts.append(vals)
+
+                # Charge compute as the LPT makespan of this server's
+                # indivisible tiles over its T workers (§III-C.3's
+                # OpenMP parallelism, honestly accounting stragglers).
+                server.counters.edges_processed += int(
+                    round(
+                        effective_parallel_volume(
+                            tile_edge_counts,
+                            self.cluster.spec.workers_per_server,
+                        )
+                    )
+                )
+
+                if changed_ids_parts:
+                    ids = np.concatenate(changed_ids_parts)
+                    vals = np.concatenate(changed_vals_parts)
+                    order = np.argsort(ids)
+                    ids, vals = ids[order], vals[order]
+                else:
+                    ids = np.zeros(0, dtype=np.int64)
+                    vals = np.zeros(0, dtype=np.float64)
+                all_updates.append((ids, vals))
+
+                # Broadcast this server's updated-value buffer: dense
+                # form covers only the targets its tiles own (receivers
+                # share the static target index), sparse form ships
+                # local (index, value) pairs.
+                if len(servers) > 1:
+                    own_targets = self._server_target_ids[server.server_id]
+                    staged = store.gather_values(own_targets).copy()
+                    local_ids = np.searchsorted(own_targets, ids)
+                    staged[local_ids] = vals
+                    forced = {
+                        "dense": DENSE,
+                        "sparse": SPARSE,
+                        "hybrid": None,
+                    }[cfg.comm_mode]
+                    payload = encode_update(
+                        staged,
+                        local_ids,
+                        codec_name=cfg.message_codec,
+                        mode=forced,
+                        threshold=cfg.sparsity_threshold,
+                    )
+                    message_modes.append(payload[0])
+                    if cfg.message_codec != "raw":
+                        server.counters.add_compressed(
+                            cfg.message_codec, len(payload)
+                        )
+                    self.channel.broadcast(server.server_id, payload)
+
+            # ---- BSP barrier: apply all updates everywhere -------------
+            updated_count = 0
+            updated_union: list[np.ndarray] = []
+            for server in servers:
+                store = server.state["store"]
+                own_ids, own_vals = all_updates[server.server_id]
+                store.write(own_ids, own_vals)
+                for envelope in self.channel.receive_all(server.server_id):
+                    payload = decode_update(envelope.payload)
+                    sender_targets = self._server_target_ids[envelope.src]
+                    store.write(sender_targets[payload.ids], payload.values)
+                    if cfg.message_codec != "raw":
+                        server.counters.add_decompressed(
+                            cfg.message_codec, len(envelope.payload)
+                        )
+            for ids, _ in all_updates:
+                updated_union.append(ids)
+                updated_count += ids.size
+            prev_updated = (
+                np.unique(np.concatenate(updated_union))
+                if updated_union
+                else np.zeros(0, dtype=np.int64)
+            )
+
+            # ---- per-superstep accounting ------------------------------
+            step_deltas = [
+                _delta(server, before[server.server_id]) for server in servers
+            ]
+            step_cost = cost_model.superstep_time(step_deltas)
+            # Per-superstep hit ratio: delta hits over delta lookups.
+            hits = []
+            for server in servers:
+                if server.cache is None:
+                    continue
+                h0, l0 = before[server.server_id][9]
+                dl = server.cache.stats.lookups - l0
+                dh = server.cache.stats.hits - h0
+                if dl:
+                    hits.append(dh / dl)
+            reports.append(
+                SuperstepReport(
+                    superstep=superstep,
+                    updated_vertices=updated_count,
+                    tiles_processed=tiles_processed,
+                    tiles_skipped=tiles_skipped,
+                    net_bytes=sum(d.net_sent for d in step_deltas),
+                    disk_read_bytes=sum(
+                        d.disk_read + d.disk_read_random for d in step_deltas
+                    ),
+                    cache_hit_ratio=float(np.mean(hits)) if hits else 1.0,
+                    message_modes=message_modes,
+                    modeled=step_cost,
+                    wall_s=time.perf_counter() - t0,
+                )
+            )
+            if (
+                cfg.checkpoint_every is not None
+                and updated_count > 0
+                and (superstep + 1) % cfg.checkpoint_every == 0
+            ):
+                write_checkpoint(
+                    self.cluster.dfs,
+                    self.manifest.name,
+                    program.name,
+                    superstep,
+                    self._collect_values(cfg, servers, init_values),
+                    prev_updated,
+                )
+            if updated_count == 0:
+                converged = True
+                break
+
+        return RunResult(
+            values=self._collect_values(cfg, servers, init_values),
+            supersteps=reports,
+            converged=converged,
+        )
+
+    def _collect_values(self, cfg, servers, init_values) -> np.ndarray:
+        """Globally consistent value array after a barrier.
+
+        Under AA any server holds everything; under OD each target
+        vertex lives on exactly the server whose tiles own it, so the
+        owned ranges are stitched together.
+        """
+        if cfg.replication_policy == "aa":
+            return servers[0].state["store"].full_values().copy()
+        final = init_values.copy()
+        for server in servers:
+            targets = self._server_target_ids[server.server_id]
+            if targets.size:
+                final[targets] = server.state["store"].gather_values(targets)
+        return final
+
+def _snapshot(server) -> tuple:
+    """Freeze the counter fields that accumulate inside one superstep."""
+    c = server.counters
+    return (
+        c.net_sent,
+        c.disk_read,
+        c.edges_processed,
+        dict(c.decompressed),
+        dict(c.compressed),
+        c.net_recv,
+        c.disk_write,
+        c.messages_processed,
+        c.disk_read_random,
+        (
+            (server.cache.stats.hits, server.cache.stats.lookups)
+            if server.cache is not None
+            else (0, 0)
+        ),
+    )
+
+
+def _delta(server, snap: tuple):
+    """Counters object holding only this superstep's volumes."""
+    from repro.cluster.counters import Counters
+
+    (
+        net0,
+        disk0,
+        edges0,
+        decomp0,
+        comp0,
+        recv0,
+        dwrite0,
+        msgs0,
+        rand0,
+        _cache0,
+    ) = snap
+    c = server.counters
+    d = Counters()
+    d.net_sent = c.net_sent - net0
+    d.net_recv = c.net_recv - recv0
+    d.disk_read = c.disk_read - disk0
+    d.disk_read_random = c.disk_read_random - rand0
+    d.disk_write = c.disk_write - dwrite0
+    d.edges_processed = c.edges_processed - edges0
+    d.messages_processed = c.messages_processed - msgs0
+    for codec, n in c.decompressed.items():
+        prev = decomp0.get(codec, 0)
+        if n > prev:
+            d.add_decompressed(codec, n - prev)
+    for codec, n in c.compressed.items():
+        prev = comp0.get(codec, 0)
+        if n > prev:
+            d.add_compressed(codec, n - prev)
+    return d
+
+
+def _process_tile(
+    program: VertexProgram,
+    tile: Tile,
+    store,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised Gather + Apply over one tile's target range.
+
+    ``store`` is either replica policy's vertex store (see
+    :mod:`repro.core.vertexstore`).  Returns (changed global ids, their
+    new values).
+    """
+    col = tile.col.astype(np.int64)
+    src_values = store.gather_values(col)
+    out_deg = store.gather_out_degrees(col) if program.uses_out_degree else None
+    weights = tile.edge_values() if program.uses_edge_weight else None
+    contributions = program.edge_message(src_values, out_deg, weights)
+    accum = segment_reduce(contributions, tile.row, program.reduce_op)
+    old = store.read_range(tile.target_lo, tile.target_hi)
+    new = program.apply(
+        accum, old, np.arange(tile.target_lo, tile.target_hi, dtype=np.int64)
+    )
+    changed = program.value_changed(new, old)
+    local_ids = np.flatnonzero(changed)
+    return (local_ids + tile.target_lo).astype(np.int64), new[local_ids]
+
+
+class _ManifestGraphView:
+    """Graph-shaped metadata view for ``init_values`` (no edge access)."""
+
+    def __init__(self, num_vertices, num_edges, in_degrees, out_degrees) -> None:
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+        self.in_degrees = in_degrees
+        self.out_degrees = out_degrees

@@ -1,0 +1,146 @@
+"""Vertex replica storage policies (paper §IV-A).
+
+The MPE keeps each server's vertex state behind a small store interface
+so both replication policies are real, runnable implementations:
+
+* :class:`AllInAllStore` — the paper's choice: every server holds all
+  ``|V|`` values in dense arrays indexed directly by vertex id.  20 B
+  per vertex (value + message slot + degree), zero indexing overhead.
+* :class:`OnDemandStore` — holds only the vertices that appear in this
+  server's tiles (sources ∪ targets), at the cost of a 4-byte id per
+  entry and a binary-search translation on every access — exactly the
+  trade-off Eq. 3 charges and Figure 6a plots.
+
+Both stores expose identical semantics; the GAB engine is policy-blind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AllInAllStore:
+    """Dense full-replica store (§IV-A's AA policy)."""
+
+    policy = "aa"
+
+    def __init__(
+        self,
+        init_values: np.ndarray,
+        out_degrees: np.ndarray | None,
+    ) -> None:
+        self._values = init_values.copy()
+        self._out_degrees = (
+            out_degrees.astype(np.int32) if out_degrees is not None else None
+        )
+
+    def gather_values(self, vertex_ids: np.ndarray) -> np.ndarray:
+        """Per-edge source-value gather."""
+        return self._values[vertex_ids]
+
+    def gather_out_degrees(self, vertex_ids: np.ndarray) -> np.ndarray:
+        """Per-edge source out-degree gather."""
+        return self._out_degrees[vertex_ids]
+
+    def read_range(self, lo: int, hi: int) -> np.ndarray:
+        """Current values of a consecutive target range."""
+        return self._values[lo:hi]
+
+    def write(self, vertex_ids: np.ndarray, values: np.ndarray) -> None:
+        """Apply updates (ids the server may or may not care about)."""
+        self._values[vertex_ids] = values
+
+    def full_values(self) -> np.ndarray:
+        """The complete value array (AA has it by construction)."""
+        return self._values
+
+    def memory_bytes(self) -> tuple[int, int]:
+        """(vertex-state bytes, message-buffer bytes) — Eq. 2 terms."""
+        vertex = self._values.nbytes
+        if self._out_degrees is not None:
+            vertex += self._out_degrees.nbytes
+        return vertex, self._values.nbytes
+
+    def num_stored(self) -> int:
+        """Vertex states resident on this server."""
+        return int(self._values.size)
+
+
+class OnDemandStore:
+    """Subset store with id indexing (§IV-A's OD policy).
+
+    ``local_ids`` must contain every vertex this server's tiles read
+    (sources) or write (targets); accesses outside the set are a
+    programming error for gathers and are *ignored* for writes (updates
+    to vertices this server never reads need no replica — that is the
+    whole point of OD).
+    """
+
+    policy = "od"
+
+    def __init__(
+        self,
+        init_values: np.ndarray,
+        out_degrees: np.ndarray | None,
+        local_ids: np.ndarray,
+    ) -> None:
+        self._local_ids = np.unique(np.asarray(local_ids, dtype=np.int64))
+        self._values = init_values[self._local_ids].copy()
+        self._out_degrees = (
+            out_degrees[self._local_ids].astype(np.int32)
+            if out_degrees is not None
+            else None
+        )
+
+    def _index(self, vertex_ids: np.ndarray) -> np.ndarray:
+        slots = np.searchsorted(self._local_ids, vertex_ids)
+        if slots.size and (
+            slots.max(initial=0) >= self._local_ids.size
+            or not np.array_equal(self._local_ids[slots], vertex_ids)
+        ):
+            raise KeyError("vertex not resident under the OD policy")
+        return slots
+
+    def gather_values(self, vertex_ids: np.ndarray) -> np.ndarray:
+        return self._values[self._index(vertex_ids)]
+
+    def gather_out_degrees(self, vertex_ids: np.ndarray) -> np.ndarray:
+        return self._out_degrees[self._index(vertex_ids)]
+
+    def read_range(self, lo: int, hi: int) -> np.ndarray:
+        return self.gather_values(np.arange(lo, hi, dtype=np.int64))
+
+    def write(self, vertex_ids: np.ndarray, values: np.ndarray) -> None:
+        vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+        if self._local_ids.size == 0 or vertex_ids.size == 0:
+            return
+        slots = np.searchsorted(self._local_ids, vertex_ids)
+        valid = (slots < self._local_ids.size) & (
+            self._local_ids[np.minimum(slots, self._local_ids.size - 1)]
+            == vertex_ids
+        )
+        self._values[slots[valid]] = np.asarray(values)[valid]
+
+    def full_values(self) -> np.ndarray:
+        raise RuntimeError(
+            "OD store does not hold all vertices; collect results from "
+            "the union of servers"
+        )
+
+    def local_ids(self) -> np.ndarray:
+        """The resident vertex id set."""
+        return self._local_ids
+
+    def local_values(self) -> np.ndarray:
+        """Values aligned with :meth:`local_ids`."""
+        return self._values
+
+    def memory_bytes(self) -> tuple[int, int]:
+        """Eq. 3: per-entry value + message + 4-byte index."""
+        vertex = self._values.nbytes + self._local_ids.size * 4
+        if self._out_degrees is not None:
+            vertex += self._out_degrees.nbytes
+        return vertex, self._values.nbytes
+
+    def num_stored(self) -> int:
+        return int(self._local_ids.size)

@@ -1,0 +1,14 @@
+"""Distributed file system substrate.
+
+GraphH "consists of a distributed file system (DFS), a Spark-based graph
+pre-processing engine (SPE), and an MPI-based graph processing engine
+(MPE)" (§III-A); the DFS "centrally manages all raw input graphs,
+partitioned graphs (i.e., tiles), and processing results" and stands in
+for HDFS/Lustre.  This package implements that substrate: a namenode
+holding file→block metadata and per-datanode block stores on real local
+disks, with configurable block size and replication.
+"""
+
+from repro.dfs.filesystem import BlockLocation, DfsFileInfo, DistributedFileSystem
+
+__all__ = ["DistributedFileSystem", "DfsFileInfo", "BlockLocation"]

@@ -1,0 +1,47 @@
+"""Graph substrate: representation, generation, I/O, and statistics.
+
+The paper evaluates on four web/social graphs (Table I).  Those datasets
+are proprietary-scale downloads, so this package provides (a) a compact
+in-memory :class:`Graph` built on CSR/CSC index arrays, (b) power-law
+generators (R-MAT, Chung–Lu) that produce *scaled analogs* matching the
+papers' degree profiles, (c) CSV edge-list I/O matching the formats the
+compared systems ingest, and (d) the dataset registry used by every
+benchmark.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    chung_lu_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    rmat_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.io import (
+    load_edge_list_binary,
+    load_edge_list_csv,
+    save_edge_list_binary,
+    save_edge_list_csv,
+    edge_list_csv_size,
+)
+from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.graph.stats import GraphStats, compute_stats
+
+__all__ = [
+    "Graph",
+    "rmat_graph",
+    "chung_lu_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "watts_strogatz_graph",
+    "load_edge_list_csv",
+    "save_edge_list_csv",
+    "load_edge_list_binary",
+    "save_edge_list_binary",
+    "edge_list_csv_size",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "GraphStats",
+    "compute_stats",
+]

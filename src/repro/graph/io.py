@@ -1,0 +1,143 @@
+"""Edge-list CSV I/O.
+
+The compared systems ingest plain edge lists ("Raw Graph" in Figure 3;
+Table IV's "Edge List (CSV)" column).  We write the same format —
+``src,dst[,weight]`` one edge per line — so Table IV's input-size
+comparison can be measured on real files rather than estimated.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def save_edge_list_csv(graph: Graph, path: str | os.PathLike) -> int:
+    """Write ``src,dst[,weight]`` lines; returns bytes written."""
+    with open(path, "w", encoding="ascii", newline="\n") as fh:
+        _write_edges(graph, fh)
+    return os.path.getsize(path)
+
+
+def edge_list_csv_size(graph: Graph) -> int:
+    """Size in bytes of the CSV edge list without touching disk."""
+    buf = _CountingWriter()
+    _write_edges(graph, buf)
+    return buf.count
+
+
+def load_edge_list_csv(
+    path: str | os.PathLike,
+    num_vertices: int | None = None,
+    name: str | None = None,
+) -> Graph:
+    """Read a ``src,dst[,weight]`` file back into a :class:`Graph`."""
+    data = np.genfromtxt(path, delimiter=",", dtype=np.float64, ndmin=2)
+    if data.size == 0:
+        return Graph(num_vertices or 0, np.zeros(0, np.int64), np.zeros(0, np.int64))
+    src = data[:, 0].astype(np.int64)
+    dst = data[:, 1].astype(np.int64)
+    weights = data[:, 2] if data.shape[1] > 2 else None
+    if num_vertices is None:
+        num_vertices = int(max(src.max(), dst.max())) + 1
+    return Graph(
+        num_vertices,
+        src,
+        dst,
+        weights,
+        name=name or os.path.splitext(os.path.basename(os.fspath(path)))[0],
+    )
+
+
+def _write_edges(graph: Graph, fh) -> None:
+    chunk = 1 << 16
+    src, dst = graph.src, graph.dst
+    weights = graph.weights
+    for start in range(0, graph.num_edges, chunk):
+        stop = min(start + chunk, graph.num_edges)
+        if weights is None:
+            lines = [
+                f"{s},{d}\n"
+                for s, d in zip(src[start:stop].tolist(), dst[start:stop].tolist())
+            ]
+        else:
+            lines = [
+                f"{s},{d},{w:.3f}\n"
+                for s, d, w in zip(
+                    src[start:stop].tolist(),
+                    dst[start:stop].tolist(),
+                    weights[start:stop].tolist(),
+                )
+            ]
+        fh.write("".join(lines))
+
+
+_BIN_MAGIC = b"GHBE"
+
+
+def save_edge_list_binary(graph: Graph, path: str | os.PathLike) -> int:
+    """Write a compact binary edge list (uint32 pairs + f64 weights).
+
+    Roughly 3x smaller than CSV and loads without parsing — the format
+    a downstream user would actually archive graphs in.  Layout:
+    ``GHBE`` + uint64 |V| + uint64 |E| + uint8 weighted +
+    uint32 src[|E|] + uint32 dst[|E|] [+ float64 w[|E|]].
+    """
+    header = (
+        _BIN_MAGIC
+        + graph.num_vertices.to_bytes(8, "little")
+        + graph.num_edges.to_bytes(8, "little")
+        + bytes([1 if graph.is_weighted else 0])
+    )
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(graph.src.astype(np.uint32).tobytes())
+        fh.write(graph.dst.astype(np.uint32).tobytes())
+        if graph.weights is not None:
+            fh.write(graph.weights.astype(np.float64).tobytes())
+    return os.path.getsize(path)
+
+
+def load_edge_list_binary(path: str | os.PathLike, name: str | None = None) -> Graph:
+    """Inverse of :func:`save_edge_list_binary`."""
+    data = open(path, "rb").read()
+    if data[:4] != _BIN_MAGIC:
+        raise ValueError("not a GHBE binary edge list")
+    num_vertices = int.from_bytes(data[4:12], "little")
+    num_edges = int.from_bytes(data[12:20], "little")
+    weighted = data[20]
+    offset = 21
+    src = np.frombuffer(data, dtype=np.uint32, count=num_edges, offset=offset)
+    offset += num_edges * 4
+    dst = np.frombuffer(data, dtype=np.uint32, count=num_edges, offset=offset)
+    offset += num_edges * 4
+    weights = None
+    if weighted:
+        weights = np.frombuffer(
+            data, dtype=np.float64, count=num_edges, offset=offset
+        ).copy()
+        offset += num_edges * 8
+    if offset != len(data):
+        raise ValueError("binary edge list size mismatch")
+    return Graph(
+        num_vertices,
+        src.astype(np.int64),
+        dst.astype(np.int64),
+        weights,
+        name=name or os.path.splitext(os.path.basename(os.fspath(path)))[0],
+    )
+
+
+class _CountingWriter(io.TextIOBase):
+    """A text sink that only counts encoded bytes."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def write(self, text: str) -> int:  # noqa: D102 - io protocol
+        self.count += len(text.encode("ascii"))
+        return len(text)

@@ -1,0 +1,15 @@
+"""Mini map-reduce substrate (the "Spark" that SPE runs on).
+
+The paper's pre-processing engine "relies on Spark to pre-process big
+graphs using three map-reduce jobs" (Algorithm 4).  This package is the
+closest offline equivalent: a partitioned-dataset API with the exact
+operators those jobs use — ``map`` / ``flat_map`` / ``filter`` /
+``map_partitions`` / ``reduce_by_key`` / ``group_by_key`` — executed
+over hash-shuffled partitions with per-stage shuffle metering.  It is an
+executable dataflow engine, not a mock: SPE's Algorithm 4 runs on it
+unchanged (see :mod:`repro.core.spe`).
+"""
+
+from repro.mapreduce.engine import Dataset, MiniCluster, ShuffleStats
+
+__all__ = ["MiniCluster", "Dataset", "ShuffleStats"]

@@ -1,0 +1,33 @@
+"""Analytic models and the volumes→time cost model.
+
+Three pieces:
+
+* :mod:`repro.metrics.cost` — converts metered volumes (disk bytes,
+  network bytes, decompression bytes per codec, edges processed) into
+  modeled per-superstep seconds using the paper-testbed hardware
+  constants.  This is how a pure-Python reproduction reports times whose
+  *shape* matches a C++/MPI system's (DESIGN.md §2).
+* :mod:`repro.metrics.formulas` — Table III's asymptotic RAM / network /
+  disk expressions per system, evaluated concretely so property tests
+  can pin measured counters against them.
+* :mod:`repro.metrics.replication` — §IV-A's All-in-All vs. On-Demand
+  expected-memory model (Eqs. 2–5) behind Figure 6a.
+"""
+
+from repro.metrics.cost import CostModel, SuperstepCost
+from repro.metrics.formulas import SystemCostFormulas, TABLE3
+from repro.metrics.replication import (
+    expected_memory_aa,
+    expected_memory_od,
+    expected_od_vertices,
+)
+
+__all__ = [
+    "CostModel",
+    "SuperstepCost",
+    "SystemCostFormulas",
+    "TABLE3",
+    "expected_memory_aa",
+    "expected_memory_od",
+    "expected_od_vertices",
+]

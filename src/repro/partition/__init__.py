@@ -1,0 +1,48 @@
+"""Graph partitioning strategies (paper §II-B and §III-B).
+
+Four families, matching Figure 2 plus GraphH's own scheme:
+
+* :mod:`repro.partition.tiles` — GraphH's two-stage scheme, stage one:
+  split the adjacency matrix 1-D by target vertex into ``P`` tiles of
+  ≈ ``|E|/P`` edges each (Algorithm 4's splitter array), stored in an
+  enhanced CSR format.
+* :mod:`repro.partition.edge_cut` — hash-based edge-cut (Pregel+,
+  GraphD): vertex and its out-adjacency hashed to a server.
+* :mod:`repro.partition.vertex_cut` — greedy vertex-cut (PowerGraph)
+  and degree-differentiated hybrid-cut (PowerLyra), with measured
+  replication factors ``M``.
+* :mod:`repro.partition.streaming` — Chaos-style streaming partitions
+  (vertex ranges with out-edges, spread over shared storage).
+"""
+
+from repro.partition.tiles import (
+    Tile,
+    TilePartition,
+    assign_tiles_balanced,
+    assign_tiles_round_robin,
+    build_splitter,
+    build_tiles,
+)
+from repro.partition.edge_cut import EdgeCutPartition, hash_edge_cut
+from repro.partition.vertex_cut import (
+    VertexCutPartition,
+    greedy_vertex_cut,
+    hybrid_vertex_cut,
+)
+from repro.partition.streaming import StreamingPartition, build_streaming_partitions
+
+__all__ = [
+    "Tile",
+    "TilePartition",
+    "build_splitter",
+    "build_tiles",
+    "assign_tiles_round_robin",
+    "assign_tiles_balanced",
+    "EdgeCutPartition",
+    "hash_edge_cut",
+    "VertexCutPartition",
+    "greedy_vertex_cut",
+    "hybrid_vertex_cut",
+    "StreamingPartition",
+    "build_streaming_partitions",
+]

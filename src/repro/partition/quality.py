@@ -1,0 +1,105 @@
+"""Partition-quality diagnostics.
+
+Quantifies the properties the paper argues about qualitatively in
+§II-B/Figure 2: how evenly each strategy spreads work, how much vertex
+state it replicates, and how much communication a superstep implies.
+Used by tests and the ablation benches; handy for downstream users
+choosing a strategy for their own graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.partition.edge_cut import EdgeCutPartition
+from repro.partition.tiles import TilePartition, assign_tiles_round_robin
+from repro.partition.vertex_cut import VertexCutPartition
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Summary metrics for one partitioning of one graph."""
+
+    strategy: str
+    num_servers: int
+    edge_balance: float  # max server edges / mean (1.0 = perfect)
+    vertex_balance: float  # max server vertex states / mean
+    replication_factor: float  # avg vertex replicas (1.0 for edge-cut)
+    est_messages_per_superstep: float  # PageRank-style, cluster-wide
+
+    def row(self) -> tuple:
+        return (
+            self.strategy,
+            self.num_servers,
+            round(self.edge_balance, 2),
+            round(self.vertex_balance, 2),
+            round(self.replication_factor, 2),
+            int(self.est_messages_per_superstep),
+        )
+
+
+def _balance(counts: list[int] | np.ndarray) -> float:
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.size == 0 or counts.mean() == 0:
+        return 1.0
+    return float(counts.max() / counts.mean())
+
+
+def edge_cut_quality(
+    graph: Graph, part: EdgeCutPartition, combine_ratio: float = 1.0
+) -> PartitionQuality:
+    """Quality of a hash edge-cut (Pregel-style systems)."""
+    return PartitionQuality(
+        strategy="hash-edge-cut",
+        num_servers=part.num_servers,
+        edge_balance=_balance(part.edges_per_server()),
+        vertex_balance=_balance(part.vertices_per_server()),
+        replication_factor=1.0,
+        est_messages_per_superstep=combine_ratio * graph.num_edges,
+    )
+
+
+def vertex_cut_quality(
+    graph: Graph, part: VertexCutPartition, strategy: str = "vertex-cut"
+) -> PartitionQuality:
+    """Quality of a vertex-cut (GAS-style systems)."""
+    vertex_per_server = part.replica_mask.sum(axis=1)
+    return PartitionQuality(
+        strategy=strategy,
+        num_servers=part.num_servers,
+        edge_balance=_balance(part.edges_per_server()),
+        vertex_balance=_balance(vertex_per_server),
+        replication_factor=part.replication_factor,
+        # Gather partials + value sync, Table III's 2M|V|.
+        est_messages_per_superstep=2.0 * part.total_replicas(),
+    )
+
+
+def tile_quality(
+    graph: Graph, part: TilePartition, num_servers: int
+) -> PartitionQuality:
+    """Quality of GraphH's tile partitioning + round-robin assignment."""
+    assignment = assign_tiles_round_robin(part.num_tiles, num_servers)
+    edges_per_server = [
+        sum(part.tiles[t].num_edges for t in tile_ids)
+        for tile_ids in assignment
+    ]
+    targets_per_server = [
+        sum(part.tiles[t].num_targets for t in tile_ids)
+        for tile_ids in assignment
+    ]
+    return PartitionQuality(
+        strategy="graphh-tiles",
+        num_servers=num_servers,
+        edge_balance=_balance(edges_per_server),
+        vertex_balance=_balance(targets_per_server),
+        # AA policy: every vertex on every server.
+        replication_factor=float(num_servers),
+        # Broadcast of owned targets to N-1 peers: O(N|V|) values.
+        est_messages_per_superstep=float(
+            (num_servers - 1) * graph.num_vertices
+        ),
+    )

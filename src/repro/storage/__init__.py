@@ -1,0 +1,35 @@
+"""Storage substrate: compression codecs, metered local disks, edge cache.
+
+Implements the paper's §IV-B edge cache mechanism — the component that
+turns GraphH from a plain out-of-core engine into a memory-disk hybrid.
+Tiles live on each server's local disk; idle memory holds an LRU cache
+of (optionally compressed) tile blobs; the cache mode (raw / snappy /
+zlib-1 / zlib-3) is chosen automatically from the capacity constraint
+``S / γ_i ≤ C`` exactly as §IV-B prescribes.
+"""
+
+from repro.storage.codecs import (
+    CODECS,
+    CACHE_MODES,
+    Codec,
+    RawCodec,
+    SnappyLikeCodec,
+    ZlibCodec,
+    get_codec,
+)
+from repro.storage.disk import LocalDisk
+from repro.storage.cache import CacheStats, EdgeCache, select_cache_mode
+
+__all__ = [
+    "Codec",
+    "RawCodec",
+    "SnappyLikeCodec",
+    "ZlibCodec",
+    "CODECS",
+    "CACHE_MODES",
+    "get_codec",
+    "LocalDisk",
+    "EdgeCache",
+    "CacheStats",
+    "select_cache_mode",
+]

@@ -1,0 +1,48 @@
+"""Deterministic RNG construction.
+
+Every stochastic component (graph generators, vertex-cut tie-breaking,
+workload shufflers) derives its generator through :func:`make_rng` so
+that a single integer seed reproduces an entire experiment end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None, *stream: int | str) -> np.random.Generator:
+    """Build a :class:`numpy.random.Generator` for a named substream.
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  ``None`` yields OS entropy; an existing generator is
+        passed through unchanged (``stream`` must then be empty).
+    stream:
+        Optional substream labels (ints or strings) folded into the seed
+        sequence so that independent components draw independent streams
+        from one root seed.
+    """
+    if isinstance(seed, np.random.Generator):
+        if stream:
+            raise ValueError("cannot derive a substream from an existing Generator")
+        return seed
+    keys: list[int] = []
+    if seed is not None:
+        keys.append(int(seed))
+    for part in stream:
+        if isinstance(part, str):
+            keys.append(hash_label(part))
+        else:
+            keys.append(int(part))
+    if not keys:
+        return np.random.default_rng()
+    return np.random.default_rng(np.random.SeedSequence(keys))
+
+
+def hash_label(label: str) -> int:
+    """Stable 32-bit hash of a string label (FNV-1a)."""
+    acc = 0x811C9DC5
+    for byte in label.encode("utf-8"):
+        acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return acc

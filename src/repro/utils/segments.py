@@ -1,0 +1,99 @@
+"""Vectorised segment reductions over CSR-style row pointers.
+
+The gather phase of every engine reduces per-edge contributions into
+per-target accumulators.  Edges inside a tile are already grouped by
+target vertex (CSR by target, §III-B), so the reduction is a *segment
+reduce* over contiguous runs — expressible with ``ufunc.reduceat`` and
+therefore free of Python per-edge loops (the hot-path rule from the
+hpc-parallel guides).
+
+``reduceat`` has a classic pitfall: a zero-length segment yields the
+element *at* its start offset instead of the identity.  We sidestep it
+by reducing only over non-empty segments (their start offsets are
+strictly increasing and consecutive non-empty starts bound exactly one
+segment because empty segments contribute no elements in between) and
+filling empty rows with the reduction's identity value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_OPS = {
+    "add": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+IDENTITY = {
+    "add": 0.0,
+    "min": np.inf,
+    "max": -np.inf,
+}
+
+
+def segment_reduce(
+    values: np.ndarray,
+    indptr: np.ndarray,
+    op: str = "add",
+    identity: float | None = None,
+) -> np.ndarray:
+    """Reduce ``values`` over segments delimited by ``indptr``.
+
+    Parameters
+    ----------
+    values:
+        Per-edge contributions, length ``indptr[-1]``.
+    indptr:
+        CSR row pointer of length ``n_rows + 1`` (non-decreasing,
+        starting at 0).
+    op:
+        ``"add"``, ``"min"``, or ``"max"``.
+    identity:
+        Fill value for empty segments; defaults to the op's identity.
+
+    Returns a length ``n_rows`` array.
+    """
+    try:
+        ufunc = _OPS[op]
+    except KeyError:
+        raise ValueError(f"unknown op {op!r}; expected one of {sorted(_OPS)}") from None
+    if identity is None:
+        identity = IDENTITY[op]
+    indptr = np.asarray(indptr, dtype=np.int64)
+    values = np.asarray(values)
+    n_rows = indptr.size - 1
+    if n_rows < 0:
+        raise ValueError("indptr must have at least one element")
+    if indptr[0] != 0 or (indptr.size > 1 and np.any(np.diff(indptr) < 0)):
+        raise ValueError("indptr must be non-decreasing and start at 0")
+    if values.size != indptr[-1]:
+        raise ValueError(
+            f"values length {values.size} != indptr[-1] {int(indptr[-1])}"
+        )
+    out = np.full(n_rows, identity, dtype=np.float64)
+    if n_rows == 0 or values.size == 0:
+        return out
+    lengths = np.diff(indptr)
+    nonempty = lengths > 0
+    if not nonempty.any():
+        return out
+    starts = indptr[:-1][nonempty]
+    out[nonempty] = ufunc.reduceat(values.astype(np.float64, copy=False), starts)
+    return out
+
+
+def segment_lengths(indptr: np.ndarray) -> np.ndarray:
+    """Row lengths from a CSR row pointer."""
+    return np.diff(np.asarray(indptr, dtype=np.int64))
+
+
+def expand_indptr(indptr: np.ndarray) -> np.ndarray:
+    """Per-element row index for a CSR layout (inverse of bincount).
+
+    ``expand_indptr([0, 2, 2, 5]) == [0, 0, 2, 2, 2]`` — used when a
+    scatter needs each edge's *target-local* row id.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    lengths = np.diff(indptr)
+    return np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)

@@ -1,0 +1,56 @@
+"""Byte-size constants, formatting, and parsing.
+
+Experiment configuration throughout the reproduction speaks in bytes
+(cache capacities, DFS block sizes, modeled bandwidths), so we keep a
+single canonical definition of the binary units and a forgiving parser
+for strings like ``"128GB"`` used by the benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+import re
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+_UNITS = {
+    "": 1,
+    "B": 1,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "TB": TB,
+    "K": KB,
+    "M": MB,
+    "G": GB,
+    "T": TB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([A-Za-z]*)\s*$")
+
+
+def human_bytes(num: float) -> str:
+    """Render a byte count with a binary-unit suffix (e.g. ``'2.5GB'``)."""
+    num = float(num)
+    sign = "-" if num < 0 else ""
+    num = abs(num)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if num >= factor:
+            return f"{sign}{num / factor:.2f}{unit}"
+    return f"{sign}{num:.0f}B"
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse ``'16GB'`` / ``'512 MB'`` / plain numbers into bytes."""
+    if isinstance(text, (int, float)):
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, unit = match.groups()
+    unit = unit.upper()
+    if unit not in _UNITS:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}")
+    return int(float(value) * _UNITS[unit])

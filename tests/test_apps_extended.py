@@ -1,0 +1,156 @@
+"""Tests for Katz centrality, personalized PageRank, and max-label
+propagation — including full cross-engine validation."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import (
+    KatzCentrality,
+    MaxLabelPropagation,
+    PersonalizedPageRank,
+    reference_solution,
+)
+from repro.baselines import ChaosEngine, GASEngine, GraphDEngine, PregelEngine
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import MPE, MPEConfig, SPE
+from repro.graph import Graph, chung_lu_graph
+
+ENGINES = [PregelEngine, GraphDEngine, GASEngine, ChaosEngine]
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return chung_lu_graph(150, 1200, seed=70).without_duplicate_edges()
+
+
+def to_networkx(graph):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(zip(graph.src.tolist(), graph.dst.tolist()))
+    return g
+
+
+def run_graphh(graph, program, num_servers=3):
+    with Cluster(ClusterSpec(num_servers=num_servers)) as cluster:
+        spe = SPE(cluster.dfs)
+        manifest = spe.preprocess(
+            graph, max(1, graph.num_edges // 7), name=graph.name
+        )
+        return MPE(cluster, manifest, MPEConfig()).run(program)
+
+
+class TestKatz:
+    def test_matches_networkx(self, skewed):
+        values, _ = reference_solution(
+            KatzCentrality(alpha=0.005, tolerance=1e-13), skewed, 500
+        )
+        nx_katz = nx.katz_centrality(
+            to_networkx(skewed), alpha=0.005, beta=1.0, tol=1e-12, max_iter=2000
+        )
+        theirs = np.array([nx_katz[i] for i in range(skewed.num_vertices)])
+        # networkx normalises to unit euclidean norm; compare directions.
+        ours = values / np.linalg.norm(values)
+        assert np.allclose(ours, theirs, atol=1e-6)
+
+    def test_graphh_matches_reference(self, skewed):
+        expected, _ = reference_solution(KatzCentrality(), skewed, 500)
+        result = run_graphh(skewed, KatzCentrality())
+        assert np.allclose(result.values, expected, atol=1e-8)
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_baselines_match_reference(self, engine_cls, skewed):
+        expected, _ = reference_solution(KatzCentrality(), skewed, 500)
+        with Cluster(ClusterSpec(num_servers=2)) as cluster:
+            result = engine_cls(cluster).run(KatzCentrality(), skewed, 500)
+        assert np.allclose(result.values, expected, atol=1e-8)
+
+    def test_isolated_vertex_gets_beta(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=3)
+        values, _ = reference_solution(KatzCentrality(beta=2.0), g, 100)
+        assert values[2] == pytest.approx(2.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            KatzCentrality(alpha=0.0)
+
+
+class TestPersonalizedPageRank:
+    def test_matches_networkx(self, skewed):
+        seeds = [0, 5]
+        values, _ = reference_solution(
+            PersonalizedPageRank(seeds, tolerance=1e-13), skewed, 500
+        )
+        personalization = {v: 0.0 for v in range(skewed.num_vertices)}
+        for s in seeds:
+            personalization[s] = 0.5
+        nx_ppr = nx.pagerank(
+            to_networkx(skewed),
+            alpha=0.85,
+            personalization=personalization,
+            tol=1e-12,
+            max_iter=1000,
+        )
+        theirs = np.array([nx_ppr[i] for i in range(skewed.num_vertices)])
+        dangling = skewed.out_degrees == 0
+        ours = values / values.sum()
+        theirs = theirs / theirs.sum()
+        if dangling.any():
+            assert np.corrcoef(ours, theirs)[0, 1] > 0.99
+        else:
+            assert np.allclose(ours, theirs, atol=1e-6)
+
+    def test_mass_concentrates_near_seeds(self, skewed):
+        values, _ = reference_solution(
+            PersonalizedPageRank([3]), skewed, 300
+        )
+        assert values[3] == values.max()
+
+    def test_graphh_matches_reference(self, skewed):
+        expected, _ = reference_solution(PersonalizedPageRank([0, 7]), skewed, 300)
+        result = run_graphh(skewed, PersonalizedPageRank([0, 7]))
+        assert np.allclose(result.values, expected, atol=1e-7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PersonalizedPageRank([])
+        with pytest.raises(ValueError):
+            PersonalizedPageRank([-1])
+        with pytest.raises(ValueError):
+            PersonalizedPageRank([0], damping=1.0)
+        g = Graph.from_edges([(0, 1)], num_vertices=2)
+        with pytest.raises(ValueError):
+            reference_solution(PersonalizedPageRank([5]), g, 5)
+
+
+class TestMaxLabelPropagation:
+    def test_labels_components_with_max_member(self):
+        g = Graph.from_edges(
+            [(0, 1), (1, 0), (2, 3), (3, 2), (3, 4), (4, 3)], num_vertices=5
+        )
+        values, _ = reference_solution(MaxLabelPropagation(), g, 100)
+        assert values.tolist() == [1.0, 1.0, 4.0, 4.0, 4.0]
+
+    def test_mirror_of_wcc(self, skewed):
+        """Max-label and min-label must induce the same partition."""
+        from repro.apps import WCC
+
+        sym = skewed.to_undirected_edges()
+        max_labels, _ = reference_solution(MaxLabelPropagation(), sym, 500)
+        min_labels, _ = reference_solution(WCC(), sym, 500)
+        pairs = set(zip(min_labels.tolist(), max_labels.tolist()))
+        assert len(pairs) == len(set(min_labels.tolist()))
+
+    def test_graphh_matches_reference(self, skewed):
+        sym = skewed.to_undirected_edges()
+        expected, _ = reference_solution(MaxLabelPropagation(), sym, 500)
+        result = run_graphh(sym, MaxLabelPropagation())
+        assert np.array_equal(result.values, expected)
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_max_reduce_through_every_engine(self, engine_cls, skewed):
+        sym = skewed.to_undirected_edges()
+        expected, _ = reference_solution(MaxLabelPropagation(), sym, 500)
+        with Cluster(ClusterSpec(num_servers=3)) as cluster:
+            result = engine_cls(cluster).run(MaxLabelPropagation(), sym, 500)
+        assert np.array_equal(result.values, expected)

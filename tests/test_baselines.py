@@ -1,0 +1,154 @@
+"""Baseline engines: correctness vs reference + Table III behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.apps import BFS, SSSP, WCC, PageRank, reference_solution
+from repro.baselines import (
+    ChaosEngine,
+    GASEngine,
+    GraphDEngine,
+    PregelEngine,
+    SYSTEM_PRESETS,
+    make_engine,
+)
+from repro.cluster import Cluster, ClusterSpec
+from repro.graph import chung_lu_graph, grid_graph
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return chung_lu_graph(200, 2000, seed=50)
+
+
+@pytest.fixture(scope="module")
+def road():
+    return grid_graph(7, 7, seed=51)
+
+
+def run_engine(factory, graph, program, num_servers=3, **kw):
+    with Cluster(ClusterSpec(num_servers=num_servers)) as cluster:
+        engine = factory(cluster, **kw)
+        return engine.run(program, graph)
+
+
+ENGINES = [PregelEngine, GraphDEngine, GASEngine, ChaosEngine]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_pagerank_matches_reference(self, engine_cls, skewed):
+        expected, _ = reference_solution(PageRank(), skewed, 200)
+        result = run_engine(engine_cls, skewed, PageRank())
+        assert np.allclose(result.values, expected, atol=1e-6)
+        assert result.converged
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_sssp_matches_reference(self, engine_cls, road):
+        expected, _ = reference_solution(SSSP(source=0), road, 200)
+        result = run_engine(engine_cls, road, SSSP(source=0))
+        assert np.allclose(result.values, expected)
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_wcc_matches_reference(self, engine_cls):
+        g = chung_lu_graph(100, 350, seed=52).to_undirected_edges()
+        expected, _ = reference_solution(WCC(), g, 200)
+        result = run_engine(engine_cls, g, WCC())
+        assert np.array_equal(result.values, expected)
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_bfs_matches_reference(self, engine_cls, road):
+        expected, _ = reference_solution(BFS(source=3), road, 200)
+        result = run_engine(engine_cls, road, BFS(source=3))
+        assert np.allclose(result.values, expected)
+
+    @pytest.mark.parametrize("num_servers", [1, 2, 6])
+    def test_cluster_width_invariance(self, skewed, num_servers):
+        expected, _ = reference_solution(PageRank(), skewed, 200)
+        for engine_cls in ENGINES:
+            result = run_engine(
+                engine_cls, skewed, PageRank(), num_servers=num_servers
+            )
+            assert np.allclose(result.values, expected, atol=1e-6), engine_cls
+
+    def test_all_presets_run(self, skewed):
+        expected, _ = reference_solution(PageRank(), skewed, 200)
+        for name in SYSTEM_PRESETS:
+            with Cluster(ClusterSpec(num_servers=2)) as cluster:
+                engine = make_engine(name, cluster)
+                result = engine.run(PageRank(), skewed)
+                assert np.allclose(result.values, expected, atol=1e-6), name
+
+    def test_unknown_preset(self):
+        with Cluster(ClusterSpec(num_servers=1)) as cluster:
+            with pytest.raises(KeyError):
+                make_engine("neo4j", cluster)
+
+
+class TestTable3Behaviours:
+    def test_pregel_keeps_edges_in_memory_graphd_does_not(self, skewed):
+        with Cluster(ClusterSpec(num_servers=2)) as cluster:
+            PregelEngine(cluster).run(PageRank(), skewed, max_supersteps=3)
+            mem_edges = sum(s.counters.mem_edges for s in cluster.servers)
+            disk = sum(s.counters.disk_read for s in cluster.servers)
+            assert mem_edges >= skewed.num_edges * 8
+            assert disk == 0
+        with Cluster(ClusterSpec(num_servers=2)) as cluster:
+            GraphDEngine(cluster).run(PageRank(), skewed, max_supersteps=3)
+            mem_edges = sum(s.counters.mem_edges for s in cluster.servers)
+            disk = sum(s.counters.disk_read for s in cluster.servers)
+            assert mem_edges == 0
+            assert disk > 0
+
+    def test_powergraph_double_edge_memory(self, skewed):
+        with Cluster(ClusterSpec(num_servers=2)) as cluster:
+            GASEngine(cluster).run(PageRank(), skewed, max_supersteps=3)
+            mem_edges = sum(s.counters.mem_edges for s in cluster.servers)
+            assert mem_edges == 2 * skewed.num_edges * 8
+
+    def test_gas_network_scales_with_replicas_not_edges(self, skewed):
+        with Cluster(ClusterSpec(num_servers=3)) as cluster:
+            engine = GASEngine(cluster)
+            result = engine.run(PageRank(), skewed, max_supersteps=3)
+            m_total = engine.partition.total_replicas()
+            per_step = result.supersteps[1].net_bytes
+            # gather partials + value sync ≈ 2 × (replicas - masters) msgs.
+            mirrors = m_total - skewed.num_vertices
+            assert per_step <= 2 * 1.1 * mirrors * 12 + 1000
+
+    def test_chaos_disk_traffic_every_superstep(self, skewed):
+        with Cluster(ClusterSpec(num_servers=2)) as cluster:
+            result = ChaosEngine(cluster).run(PageRank(), skewed, max_supersteps=3)
+            for step in result.supersteps:
+                # Edges cross the disk every superstep — no caching.
+                assert step.disk_read_bytes >= skewed.num_edges * 8
+
+    def test_chaos_network_equals_storage_traffic(self, skewed):
+        with Cluster(ClusterSpec(num_servers=2)) as cluster:
+            ChaosEngine(cluster).run(PageRank(), skewed, max_supersteps=3)
+            agg = cluster.aggregate_counters()
+            assert agg.net_sent + agg.net_recv >= agg.disk_read
+
+    def test_giraph_memory_overhead(self, skewed):
+        with Cluster(ClusterSpec(num_servers=2)) as cluster:
+            make_engine("pregel+", cluster).run(PageRank(), skewed, max_supersteps=2)
+            base = sum(s.counters.mem_vertex for s in cluster.servers)
+        with Cluster(ClusterSpec(num_servers=2)) as cluster:
+            make_engine("giraph", cluster).run(PageRank(), skewed, max_supersteps=2)
+            heavy = sum(s.counters.mem_vertex for s in cluster.servers)
+        assert heavy == pytest.approx(2.8 * base, rel=0.05)
+
+    def test_min_frontier_processes_fewer_edges(self, road):
+        """SSSP's wavefront: baselines shouldn't regather everything."""
+        with Cluster(ClusterSpec(num_servers=2)) as cluster:
+            result = PregelEngine(cluster).run(SSSP(source=0), road)
+            total_edges = sum(
+                s.counters.edges_processed for s in cluster.servers
+            )
+            # Far less than |E| × supersteps (full regather would be that).
+            assert total_edges < road.num_edges * result.num_supersteps / 2
+
+    def test_chaos_invalid_config(self):
+        with Cluster(ClusterSpec(num_servers=1)) as cluster:
+            with pytest.raises(ValueError):
+                ChaosEngine(cluster, partitions_per_server=0)

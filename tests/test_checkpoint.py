@@ -1,0 +1,134 @@
+"""Tests for MPE checkpoint/resume."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PageRank, SSSP, reference_solution
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import MPE, MPEConfig, SPE
+from repro.core.checkpoint import (
+    clear_checkpoints,
+    latest_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.graph import chung_lu_graph, grid_graph
+
+
+@pytest.fixture
+def cluster():
+    with Cluster(ClusterSpec(num_servers=3)) as c:
+        yield c
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return chung_lu_graph(150, 1500, seed=90)
+
+
+class TestCheckpointStore:
+    def test_roundtrip(self, cluster):
+        values = np.linspace(0, 1, 50)
+        updated = np.array([3, 7, 11], dtype=np.int64)
+        path = write_checkpoint(cluster.dfs, "g", "pagerank", 4, values, updated)
+        snap = load_checkpoint(cluster.dfs, path)
+        assert snap.superstep == 4
+        assert np.array_equal(snap.values, values)
+        assert np.array_equal(snap.prev_updated, updated)
+
+    def test_latest_picks_newest(self, cluster):
+        for step in (2, 9, 5):
+            write_checkpoint(
+                cluster.dfs, "g", "pagerank", step, np.zeros(3), np.zeros(0, np.int64)
+            )
+        snap = latest_checkpoint(cluster.dfs, "g", "pagerank")
+        assert snap.superstep == 9
+
+    def test_latest_none_when_absent(self, cluster):
+        assert latest_checkpoint(cluster.dfs, "g", "pagerank") is None
+
+    def test_programs_namespaced(self, cluster):
+        write_checkpoint(cluster.dfs, "g", "sssp", 1, np.zeros(3), np.zeros(0, np.int64))
+        assert latest_checkpoint(cluster.dfs, "g", "pagerank") is None
+        assert latest_checkpoint(cluster.dfs, "g", "sssp") is not None
+
+    def test_clear(self, cluster):
+        for step in (1, 2):
+            write_checkpoint(
+                cluster.dfs, "g", "pagerank", step, np.zeros(3), np.zeros(0, np.int64)
+            )
+        assert clear_checkpoints(cluster.dfs, "g", "pagerank") == 2
+        assert latest_checkpoint(cluster.dfs, "g", "pagerank") is None
+
+    def test_corrupt_checkpoint_rejected(self, cluster):
+        cluster.dfs.write("g/ckpt-bad", b"xx")
+        with pytest.raises(ValueError):
+            load_checkpoint(cluster.dfs, "g/ckpt-bad")
+
+
+class TestResume:
+    def _mpe(self, cluster, graph, **cfg):
+        spe = SPE(cluster.dfs)
+        name = graph.name
+        if not cluster.dfs.exists(f"{name}/meta"):
+            spe.preprocess(graph, max(1, graph.num_edges // 7), name=name)
+        manifest = spe.load_manifest(name)
+        return MPE(cluster, manifest, MPEConfig(**cfg))
+
+    def test_resume_after_simulated_crash(self, cluster, skewed):
+        expected, _ = reference_solution(PageRank(), skewed, 300)
+        # Phase 1: "crash" after 5 supersteps, checkpointing every 2.
+        mpe = self._mpe(cluster, skewed, checkpoint_every=2, max_supersteps=5)
+        partial = mpe.run(PageRank())
+        assert not partial.converged
+        # Phase 2: a fresh engine resumes from the newest snapshot.
+        mpe2 = self._mpe(cluster, skewed, checkpoint_every=2, max_supersteps=300)
+        result = mpe2.run(PageRank(), resume=True)
+        assert result.converged
+        assert result.supersteps[0].superstep >= 4  # skipped the redone work
+        assert np.allclose(result.values, expected, atol=1e-6)
+
+    def test_resumed_equals_uninterrupted(self, cluster, skewed):
+        uninterrupted = self._mpe(cluster, skewed, max_supersteps=300).run(
+            PageRank()
+        )
+        with Cluster(ClusterSpec(num_servers=3)) as c2:
+            mpe = self._mpe(c2, skewed, checkpoint_every=3, max_supersteps=7)
+            mpe.run(PageRank())
+            resumed = self._mpe(c2, skewed, max_supersteps=300).run(
+                PageRank(), resume=True
+            )
+        assert np.allclose(uninterrupted.values, resumed.values, atol=1e-9)
+
+    def test_resume_without_checkpoint_starts_fresh(self, cluster, skewed):
+        mpe = self._mpe(cluster, skewed, max_supersteps=300)
+        result = mpe.run(PageRank(), resume=True)
+        assert result.supersteps[0].superstep == 0
+        assert result.converged
+
+    def test_resume_sssp_with_bloom_state(self, cluster):
+        road = grid_graph(12, 12, seed=91, name="ck-road")
+        expected, _ = reference_solution(SSSP(source=0), road, 300)
+        mpe = self._mpe(cluster, road, checkpoint_every=2, max_supersteps=6)
+        mpe.run(SSSP(source=0))
+        resumed = self._mpe(cluster, road, max_supersteps=300).run(
+            SSSP(source=0), resume=True
+        )
+        assert np.allclose(resumed.values, expected)
+
+    def test_mismatched_checkpoint_rejected(self, cluster, skewed):
+        write_checkpoint(
+            cluster.dfs,
+            skewed.name,
+            "pagerank",
+            3,
+            np.zeros(7),  # wrong |V|
+            np.zeros(0, np.int64),
+        )
+        mpe = self._mpe(cluster, skewed)
+        with pytest.raises(ValueError):
+            mpe.run(PageRank(), resume=True)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MPEConfig(checkpoint_every=0)

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import load_edge_list_csv
+
+
+@pytest.fixture
+def graph_csv(tmp_path):
+    path = str(tmp_path / "g.csv")
+    assert main(["generate", path, "--kind", "rmat", "--scale", "8", "--seed", "3"]) == 0
+    return path
+
+
+class TestCli:
+    def test_generate_creates_loadable_csv(self, graph_csv):
+        g = load_edge_list_csv(graph_csv)
+        assert g.num_edges == 256 * 16
+
+    def test_generate_powerlaw_and_grid(self, tmp_path):
+        for kind in ("powerlaw", "grid"):
+            path = str(tmp_path / f"{kind}.csv")
+            assert main(["generate", path, "--kind", kind, "--scale", "6"]) == 0
+            assert load_edge_list_csv(path).num_edges > 0
+
+    def test_stats(self, graph_csv, capsys):
+        assert main(["stats", graph_csv]) == 0
+        out = capsys.readouterr().out
+        assert "|V|" in out and "avg degree" in out
+
+    def test_pagerank_output_file(self, graph_csv, tmp_path, capsys):
+        out_path = str(tmp_path / "ranks.csv")
+        assert (
+            main(
+                [
+                    "pagerank",
+                    graph_csv,
+                    "--servers",
+                    "2",
+                    "--output",
+                    out_path,
+                    "--top",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        ranks = np.genfromtxt(out_path, delimiter=",")
+        assert ranks.shape[0] == 256
+        assert "top 3 vertices" in capsys.readouterr().out
+
+    def test_sssp(self, graph_csv, capsys):
+        assert main(["sssp", graph_csv, "--source", "1", "--servers", "2"]) == 0
+        assert "reachable from 1" in capsys.readouterr().out
+
+    def test_wcc(self, tmp_path, capsys):
+        path = str(tmp_path / "two.csv")
+        with open(path, "w") as fh:
+            fh.write("0,1\n1,0\n2,3\n3,2\n")
+        assert main(["wcc", path]) == 0
+        assert "2 weakly connected components" in capsys.readouterr().out
+
+    def test_shootout(self, graph_csv, capsys):
+        assert main(["shootout", graph_csv, "--servers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "graphh" in out and "chaos" in out
+
+    def test_bfs(self, graph_csv, capsys):
+        assert main(["bfs", graph_csv, "--source", "0"]) == 0
+        assert "reachable from 0" in capsys.readouterr().out
+
+    def test_katz(self, graph_csv, capsys):
+        assert main(["katz", graph_csv, "--alpha", "0.002"]) == 0
+        assert "top" in capsys.readouterr().out
+
+    def test_ppr(self, graph_csv, capsys):
+        assert main(["ppr", graph_csv, "--seeds", "0,5"]) == 0
+        assert "ppr" in capsys.readouterr().out
+
+    def test_generate_binary_and_autodetect(self, tmp_path, capsys):
+        path = str(tmp_path / "g.bin")
+        assert main(["generate", path, "--scale", "7"]) == 0
+        assert main(["stats", path]) == 0
+        assert "avg degree" in capsys.readouterr().out
+
+    def test_generate_smallworld(self, tmp_path):
+        path = str(tmp_path / "sw.csv")
+        assert main(
+            ["generate", path, "--kind", "smallworld", "--scale", "7",
+             "--edge-factor", "4"]
+        ) == 0
+        from repro.graph import load_edge_list_csv
+
+        assert load_edge_list_csv(path).num_edges == 128 * 4
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

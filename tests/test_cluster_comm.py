@@ -1,0 +1,305 @@
+"""Tests for the cluster simulation and communication layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterSpec, Counters, PAPER_TESTBED
+from repro.comm import (
+    DENSE,
+    SPARSE,
+    Channel,
+    choose_mode,
+    decode_update,
+    encode_update,
+)
+
+
+class TestSpec:
+    def test_paper_testbed_constants(self):
+        assert PAPER_TESTBED.num_servers == 9
+        assert PAPER_TESTBED.workers_per_server == 24
+        assert PAPER_TESTBED.total_workers == 216  # footnote 3
+        assert PAPER_TESTBED.memory_bytes == 128 * 1024**3
+
+    def test_with_servers(self):
+        spec3 = PAPER_TESTBED.with_servers(3)
+        assert spec3.num_servers == 3
+        assert spec3.memory_bytes == PAPER_TESTBED.memory_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_servers=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(workers_per_server=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(memory_bytes=0)
+
+
+class TestCounters:
+    def test_memory_categories_and_peak(self):
+        c = Counters()
+        c.add_memory("vertex", 100)
+        c.add_memory("messages", 50)
+        assert c.mem_current == 150
+        assert c.mem_peak == 150
+        c.add_memory("messages", -50)
+        assert c.mem_current == 100
+        assert c.mem_peak == 150  # peak sticks
+
+    def test_set_memory(self):
+        c = Counters()
+        c.set_memory("cache", 500)
+        assert c.mem_cache == 500
+        c.set_memory("cache", 100)
+        assert c.mem_cache == 100
+        assert c.mem_peak == 500
+
+    def test_invalid_category(self):
+        c = Counters()
+        with pytest.raises(ValueError):
+            c.add_memory("gpu", 10)
+        with pytest.raises(ValueError):
+            c.set_memory("gpu", 10)
+
+    def test_negative_guard(self):
+        c = Counters()
+        with pytest.raises(ValueError):
+            c.add_memory("vertex", -1)
+        with pytest.raises(ValueError):
+            c.set_memory("vertex", -1)
+
+    def test_codec_meters(self):
+        c = Counters()
+        c.add_decompressed("zlib1", 10)
+        c.add_decompressed("zlib1", 5)
+        c.add_compressed("snappylike", 7)
+        assert c.decompressed == {"zlib1": 15}
+        assert c.compressed == {"snappylike": 7}
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.add_memory("vertex", 10)
+        b.add_memory("vertex", 20)
+        b.disk_read = 100
+        b.add_decompressed("raw", 5)
+        a.merge(b)
+        assert a.mem_vertex == 30
+        assert a.disk_read == 100
+        assert a.decompressed["raw"] == 5
+
+    def test_snapshot(self):
+        c = Counters()
+        c.add_memory("edges", 10)
+        c.add_decompressed("zlib3", 4)
+        snap = c.snapshot()
+        assert snap["mem_edges"] == 10
+        assert snap["decompressed_zlib3"] == 4
+
+
+class TestCluster:
+    def test_creation_and_cleanup(self):
+        with Cluster(ClusterSpec(num_servers=3)) as cluster:
+            assert len(cluster.servers) == 3
+            assert cluster.dfs is not None
+            root = cluster.root
+            assert root.exists()
+        assert not root.exists()
+
+    def test_server_blob_roundtrip(self):
+        with Cluster(ClusterSpec(num_servers=2)) as cluster:
+            server = cluster.servers[0]
+            server.store_blob("tile-0", b"payload")
+            assert server.load_blob("tile-0") == b"payload"
+            assert server.counters.disk_write == 7
+            assert server.counters.disk_read == 7
+
+    def test_cached_blob_skips_disk(self):
+        with Cluster(ClusterSpec(num_servers=1)) as cluster:
+            server = cluster.servers[0]
+            server.attach_cache(capacity_bytes=1000, mode=3)
+            server.store_blob("t", b"z" * 100)
+            server.load_blob("t")
+            first_read = server.counters.disk_read_random
+            assert first_read == 100  # miss charged as a random read
+            server.load_blob("t")
+            assert server.counters.disk_read_random == first_read  # hit
+            assert server.counters.disk_read == 0  # never sequential
+            assert server.counters.decompressed.get("zlib1", 0) >= 100
+
+    def test_reset_counters(self):
+        with Cluster(ClusterSpec(num_servers=1)) as cluster:
+            server = cluster.servers[0]
+            server.store_blob("t", b"abc")
+            cluster.reset_counters()
+            assert server.counters.disk_write == 0
+
+    def test_aggregate_and_peak(self):
+        with Cluster(ClusterSpec(num_servers=2)) as cluster:
+            cluster.servers[0].counters.add_memory("vertex", 100)
+            cluster.servers[1].counters.add_memory("vertex", 300)
+            assert cluster.aggregate_counters().mem_vertex == 400
+            assert cluster.max_server_memory_peak() == 300
+
+
+class TestChannel:
+    def _make(self, n=3):
+        cluster = Cluster(ClusterSpec(num_servers=n))
+        return cluster, Channel(cluster.servers)
+
+    def test_send_and_receive(self):
+        cluster, ch = self._make()
+        try:
+            ch.send(0, 1, b"hello")
+            envs = ch.receive_all(1)
+            assert len(envs) == 1
+            assert envs[0].src == 0 and envs[0].payload == b"hello"
+            assert ch.receive_all(1) == []  # drained
+        finally:
+            cluster.close()
+
+    def test_metering(self):
+        cluster, ch = self._make()
+        try:
+            ch.send(0, 1, b"12345")
+            assert cluster.servers[0].counters.net_sent == 5
+            assert cluster.servers[1].counters.net_recv == 5
+            assert ch.total_bytes == 5
+        finally:
+            cluster.close()
+
+    def test_local_send_free(self):
+        cluster, ch = self._make()
+        try:
+            ch.send(0, 0, b"local")
+            assert cluster.servers[0].counters.net_sent == 0
+            assert ch.pending(0) == 1
+        finally:
+            cluster.close()
+
+    def test_broadcast_excludes_sender(self):
+        cluster, ch = self._make(4)
+        try:
+            ch.broadcast(2, b"xy")
+            assert ch.pending(2) == 0
+            for dst in (0, 1, 3):
+                assert ch.pending(dst) == 1
+            assert cluster.servers[2].counters.net_sent == 6  # 2B × 3 peers
+        finally:
+            cluster.close()
+
+    def test_invalid_ids(self):
+        cluster, ch = self._make()
+        try:
+            with pytest.raises(ValueError):
+                ch.send(0, 99, b"")
+            with pytest.raises(ValueError):
+                ch.receive_all(-1)
+        finally:
+            cluster.close()
+
+    def test_empty_server_list_rejected(self):
+        with pytest.raises(ValueError):
+            Channel([])
+
+
+class TestUpdateMessages:
+    def test_mode_selection_threshold(self):
+        # 80% sparsity boundary: >80% unchanged → sparse.
+        assert choose_mode(19, 100) == SPARSE
+        assert choose_mode(20, 100) == DENSE
+        assert choose_mode(100, 100) == DENSE
+        assert choose_mode(0, 0) == SPARSE
+
+    def test_dense_roundtrip(self):
+        values = np.arange(10, dtype=np.float64)
+        ids = np.array([0, 3, 9])
+        msg = encode_update(values, ids, codec_name="raw", mode=DENSE)
+        out = decode_update(msg)
+        assert out.mode == DENSE
+        assert out.ids.tolist() == [0, 3, 9]
+        assert out.values.tolist() == [0.0, 3.0, 9.0]
+        assert out.num_vertices == 10
+
+    def test_sparse_roundtrip(self):
+        values = np.arange(100, dtype=np.float64) * 1.5
+        ids = np.array([5, 50, 99])
+        msg = encode_update(values, ids, codec_name="raw", mode=SPARSE)
+        out = decode_update(msg)
+        assert out.mode == SPARSE
+        assert out.ids.tolist() == [5, 50, 99]
+        assert np.allclose(out.values, [7.5, 75.0, 148.5])
+
+    def test_hybrid_picks_sparse_for_few_updates(self):
+        values = np.zeros(1000)
+        msg = encode_update(values, np.array([7]), codec_name="raw")
+        assert decode_update(msg).mode == SPARSE
+
+    def test_hybrid_picks_dense_for_many_updates(self):
+        values = np.zeros(1000)
+        msg = encode_update(values, np.arange(900), codec_name="raw")
+        assert decode_update(msg).mode == DENSE
+
+    def test_sparse_smaller_when_few_updated(self):
+        values = np.random.default_rng(0).random(10_000)
+        ids = np.array([17])
+        dense = encode_update(values, ids, codec_name="raw", mode=DENSE)
+        sparse = encode_update(values, ids, codec_name="raw", mode=SPARSE)
+        assert len(sparse) < len(dense) / 100
+
+    def test_dense_smaller_when_all_updated(self):
+        values = np.random.default_rng(0).random(10_000)
+        ids = np.arange(10_000)
+        dense = encode_update(values, ids, codec_name="raw", mode=DENSE)
+        sparse = encode_update(values, ids, codec_name="raw", mode=SPARSE)
+        assert len(dense) < len(sparse)
+
+    @pytest.mark.parametrize("codec", ["raw", "snappylike", "zlib1", "zlib3"])
+    def test_all_codecs_roundtrip(self, codec):
+        values = np.linspace(0, 1, 257)
+        ids = np.array([0, 128, 256])
+        for mode in (DENSE, SPARSE):
+            out = decode_update(encode_update(values, ids, codec, mode=mode))
+            assert out.ids.tolist() == [0, 128, 256]
+            assert np.allclose(out.values, values[[0, 128, 256]])
+
+    def test_compression_shrinks_dense_payload(self):
+        # Mostly-zero value arrays (typical early-PageRank deltas)
+        # compress well — the Figure 8c effect.
+        values = np.zeros(50_000)
+        ids = np.arange(0, 50_000, 2)
+        raw = encode_update(values, ids, "raw", mode=DENSE)
+        z = encode_update(values, ids, "zlib1", mode=DENSE)
+        assert len(z) < len(raw) / 5
+
+    def test_empty_update(self):
+        out = decode_update(encode_update(np.zeros(10), np.array([], dtype=np.int64)))
+        assert out.num_updates == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            encode_update(np.zeros(5), np.array([9]))
+        with pytest.raises(ValueError):
+            encode_update(np.zeros(5), np.array([3, 1]))
+        with pytest.raises(ValueError):
+            decode_update(b"\x00")
+
+    @settings(max_examples=40)
+    @given(
+        num_vertices=st.integers(1, 300),
+        data=st.data(),
+        codec=st.sampled_from(["raw", "snappylike", "zlib1", "zlib3"]),
+    )
+    def test_roundtrip_property(self, num_vertices, data, codec):
+        """Hybrid encode/decode never loses or corrupts an update."""
+        rng = np.random.default_rng(0)
+        values = rng.random(num_vertices)
+        k = data.draw(st.integers(0, num_vertices))
+        ids = np.sort(
+            rng.choice(num_vertices, size=k, replace=False).astype(np.int64)
+        )
+        out = decode_update(encode_update(values, ids, codec))
+        assert out.ids.tolist() == ids.tolist()
+        assert np.allclose(out.values, values[ids])
+        assert out.num_vertices == num_vertices

@@ -1,0 +1,225 @@
+"""Integration tests: the GAB engine against the reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.apps import BFS, SSSP, WCC, InDegreeCentrality, PageRank, reference_solution
+from repro.cluster import Cluster, ClusterSpec
+from repro.comm.messages import DENSE, SPARSE
+from repro.core import MPE, MPEConfig, SPE, GraphH
+from repro.graph import Graph, chung_lu_graph, grid_graph
+
+
+def run_graphh(graph, program, num_servers=3, config=None, avg_tile_edges=None):
+    with Cluster(ClusterSpec(num_servers=num_servers)) as cluster:
+        spe = SPE(cluster.dfs)
+        tile_edges = avg_tile_edges or max(1, graph.num_edges // 7)
+        manifest = spe.preprocess(graph, tile_edges, name=graph.name)
+        mpe = MPE(cluster, manifest, config or MPEConfig())
+        return mpe.run(program)
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return chung_lu_graph(250, 2500, seed=40)
+
+
+@pytest.fixture(scope="module")
+def road():
+    return grid_graph(8, 8, seed=41)
+
+
+class TestCorrectness:
+    def test_pagerank_matches_reference(self, skewed):
+        expected, _ = reference_solution(PageRank(), skewed, 200)
+        result = run_graphh(skewed, PageRank(), num_servers=3)
+        assert np.allclose(result.values, expected, atol=1e-6)
+        assert result.converged
+
+    def test_sssp_matches_reference(self, road):
+        expected, _ = reference_solution(SSSP(source=0), road, 200)
+        result = run_graphh(road, SSSP(source=0), num_servers=3)
+        assert np.allclose(result.values, expected)
+        assert result.converged
+
+    def test_sssp_on_skewed(self, skewed):
+        expected, _ = reference_solution(SSSP(source=1), skewed, 200)
+        result = run_graphh(skewed, SSSP(source=1), num_servers=4)
+        assert np.allclose(result.values, expected)
+
+    def test_wcc_matches_reference(self):
+        g = chung_lu_graph(120, 400, seed=42).to_undirected_edges()
+        expected, _ = reference_solution(WCC(), g, 200)
+        result = run_graphh(g, WCC(), num_servers=3)
+        assert np.array_equal(result.values, expected)
+
+    def test_bfs_matches_reference(self, road):
+        expected, _ = reference_solution(BFS(source=5), road, 200)
+        result = run_graphh(road, BFS(source=5), num_servers=2)
+        assert np.allclose(result.values, expected)
+
+    def test_indegree(self, skewed):
+        result = run_graphh(skewed, InDegreeCentrality(), num_servers=3)
+        assert np.array_equal(result.values, skewed.in_degrees.astype(float))
+
+    @pytest.mark.parametrize("num_servers", [1, 2, 5, 9])
+    def test_cluster_width_does_not_change_answers(self, skewed, num_servers):
+        expected, _ = reference_solution(PageRank(), skewed, 200)
+        result = run_graphh(skewed, PageRank(), num_servers=num_servers)
+        assert np.allclose(result.values, expected, atol=1e-6)
+
+    @pytest.mark.parametrize("tile_edges", [10, 100, 100_000])
+    def test_tile_size_does_not_change_answers(self, skewed, tile_edges):
+        expected, _ = reference_solution(PageRank(), skewed, 200)
+        result = run_graphh(
+            skewed, PageRank(), num_servers=2, avg_tile_edges=tile_edges
+        )
+        assert np.allclose(result.values, expected, atol=1e-6)
+
+    @pytest.mark.parametrize("mode", [1, 2, 3, 4])
+    def test_cache_modes_do_not_change_answers(self, road, mode):
+        expected, _ = reference_solution(SSSP(source=0), road, 200)
+        config = MPEConfig(cache_mode=mode, cache_capacity_bytes=512)
+        result = run_graphh(road, SSSP(source=0), num_servers=2, config=config)
+        assert np.allclose(result.values, expected)
+
+    @pytest.mark.parametrize("comm_mode", ["hybrid", "dense", "sparse"])
+    def test_comm_modes_do_not_change_answers(self, skewed, comm_mode):
+        expected, _ = reference_solution(PageRank(), skewed, 200)
+        config = MPEConfig(comm_mode=comm_mode)
+        result = run_graphh(skewed, PageRank(), num_servers=3, config=config)
+        assert np.allclose(result.values, expected, atol=1e-6)
+
+    @pytest.mark.parametrize("codec", ["raw", "snappylike", "zlib1", "zlib3"])
+    def test_message_codecs_do_not_change_answers(self, skewed, codec):
+        expected, _ = reference_solution(PageRank(), skewed, 200)
+        config = MPEConfig(message_codec=codec)
+        result = run_graphh(skewed, PageRank(), num_servers=2, config=config)
+        assert np.allclose(result.values, expected, atol=1e-6)
+
+    def test_bloom_filters_do_not_change_answers(self, road):
+        expected, _ = reference_solution(SSSP(source=0), road, 200)
+        for use_bloom in (True, False):
+            config = MPEConfig(use_bloom_filters=use_bloom)
+            result = run_graphh(road, SSSP(source=0), num_servers=2, config=config)
+            assert np.allclose(result.values, expected)
+
+    def test_empty_graph(self):
+        g = Graph.from_edges([], num_vertices=5)
+        result = run_graphh(g, PageRank(), num_servers=2, avg_tile_edges=1)
+        assert np.allclose(result.values, 0.15 / 5 + 0.85 * 0)
+
+
+class TestEngineBehaviour:
+    def test_bloom_skips_tiles_for_sssp(self, road):
+        """SSSP touches a moving frontier — most tiles are skippable."""
+        result = run_graphh(
+            road, SSSP(source=0), num_servers=2, avg_tile_edges=4
+        )
+        skipped = sum(s.tiles_skipped for s in result.supersteps)
+        assert skipped > 0
+
+    def test_no_skips_without_bloom(self, road):
+        config = MPEConfig(use_bloom_filters=False)
+        result = run_graphh(road, SSSP(source=0), num_servers=2, config=config)
+        assert all(s.tiles_skipped == 0 for s in result.supersteps)
+
+    def test_first_superstep_never_skips(self, road):
+        result = run_graphh(road, SSSP(source=0), num_servers=2, avg_tile_edges=4)
+        assert result.supersteps[0].tiles_skipped == 0
+
+    def test_hybrid_switches_dense_to_sparse(self, skewed):
+        """PageRank: early supersteps update everything (dense), late
+        supersteps update a trickle (sparse) — Figure 8's behaviour."""
+        result = run_graphh(
+            skewed, PageRank(tolerance=1e-6), num_servers=3
+        )
+        first_modes = result.supersteps[0].message_modes
+        last_modes = result.supersteps[-2].message_modes if len(result.supersteps) > 1 else []
+        assert all(m == DENSE for m in first_modes)
+        assert any(m == SPARSE for m in last_modes)
+
+    def test_update_ratio_declines(self, skewed):
+        result = run_graphh(skewed, PageRank(tolerance=1e-6), num_servers=2)
+        updates = [s.updated_vertices for s in result.supersteps]
+        assert updates[0] == skewed.num_vertices
+        assert updates[-1] < updates[0]
+
+    def test_single_server_no_network(self, skewed):
+        result = run_graphh(skewed, PageRank(), num_servers=1)
+        assert result.total_net_bytes() == 0
+
+    def test_network_grows_with_servers(self, skewed):
+        one = run_graphh(skewed, PageRank(), num_servers=1)
+        nine = run_graphh(skewed, PageRank(), num_servers=9)
+        assert nine.total_net_bytes() > one.total_net_bytes()
+
+    def test_cache_eliminates_disk_after_first_pass(self, skewed):
+        result = run_graphh(skewed, PageRank(), num_servers=2)
+        # Unlimited cache: every superstep after the first reads nothing.
+        assert result.supersteps[1].disk_read_bytes == 0
+        assert result.supersteps[1].cache_hit_ratio > 0.4
+
+    def test_tiny_cache_forces_disk_io(self, skewed):
+        config = MPEConfig(cache_capacity_bytes=64, cache_mode=1)
+        result = run_graphh(skewed, PageRank(), num_servers=2, config=config)
+        assert result.supersteps[1].disk_read_bytes > 0
+
+    def test_modeled_cost_present(self, skewed):
+        result = run_graphh(skewed, PageRank(), num_servers=2)
+        assert all(s.modeled is not None for s in result.supersteps)
+        assert result.avg_superstep_modeled_s() > 0
+
+    def test_memory_accounting_aa_policy(self, skewed):
+        with Cluster(ClusterSpec(num_servers=3)) as cluster:
+            spe = SPE(cluster.dfs)
+            manifest = spe.preprocess(skewed, 500, name="g")
+            mpe = MPE(cluster, manifest, MPEConfig())
+            mpe.run(PageRank())
+            for server in cluster.servers:
+                # AA: value(8) + outdeg(4) per vertex + message(8).
+                assert server.counters.mem_vertex == skewed.num_vertices * 12
+                assert server.counters.mem_messages == skewed.num_vertices * 8
+
+    def test_max_supersteps_cap(self, skewed):
+        config = MPEConfig(max_supersteps=3)
+        result = run_graphh(skewed, PageRank(tolerance=0.0), num_servers=2, config=config)
+        assert result.num_supersteps == 3
+        assert not result.converged
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MPEConfig(comm_mode="telepathy")
+        with pytest.raises(ValueError):
+            MPEConfig(max_supersteps=0)
+
+
+class TestFacade:
+    def test_quickstart_flow(self, skewed):
+        with GraphH(num_servers=2) as gh:
+            gh.load_graph(skewed, name="sk")
+            pr = gh.pagerank()
+            expected, _ = reference_solution(PageRank(), skewed, 200)
+            assert np.allclose(pr, expected, atol=1e-6)
+
+    def test_multiple_programs_one_preprocess(self, road):
+        with GraphH(num_servers=2) as gh:
+            gh.load_graph(road)
+            d = gh.sssp(source=0)
+            pr = gh.pagerank()
+            assert d[0] == 0.0
+            assert pr.sum() == pytest.approx(1.0, abs=0.2)
+
+    def test_wcc_convenience_symmetrises(self):
+        g = Graph.from_edges([(0, 1), (2, 3)], num_vertices=4, name="two")
+        with GraphH(num_servers=2) as gh:
+            gh.load_graph(g, avg_tile_edges=2)
+            labels = gh.wcc()
+            assert labels.tolist() == [0.0, 0.0, 2.0, 2.0]
+
+    def test_requires_load(self):
+        with GraphH(num_servers=1) as gh:
+            with pytest.raises(RuntimeError):
+                gh.pagerank()
+            with pytest.raises(RuntimeError):
+                _ = gh.manifest

@@ -1,0 +1,112 @@
+"""Tests for the SPE pre-processing engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import SPE, TileManifest
+from repro.graph import chung_lu_graph, grid_graph
+from repro.partition import Tile, build_tiles
+
+
+@pytest.fixture
+def cluster():
+    with Cluster(ClusterSpec(num_servers=3)) as c:
+        yield c
+
+
+class TestSPE:
+    def test_manifest_counts(self, cluster):
+        g = chung_lu_graph(200, 2000, seed=30)
+        spe = SPE(cluster.dfs)
+        manifest = spe.preprocess(g, avg_tile_edges=300, name="g")
+        assert manifest.num_vertices == 200
+        assert manifest.num_edges == 2000
+        assert manifest.num_tiles == manifest.splitter.size - 1
+        assert not manifest.weighted
+
+    def test_tiles_match_direct_path_bytes(self, cluster):
+        """SPE's map-reduce pipeline and the direct in-memory path must
+        produce byte-identical tiles."""
+        g = chung_lu_graph(300, 3000, seed=31)
+        spe = SPE(cluster.dfs, mapreduce_partitions=5)
+        manifest = spe.preprocess(g, avg_tile_edges=400, name="g", chunk_edges=127)
+        direct = build_tiles(g, avg_tile_edges=400)
+        assert manifest.num_tiles == direct.num_tiles
+        for i, tile in enumerate(direct.tiles):
+            assert cluster.dfs.read(manifest.tile_path(i)) == tile.to_bytes()
+
+    def test_weighted_tiles_match(self, cluster):
+        g = grid_graph(8, 8, seed=32)
+        spe = SPE(cluster.dfs)
+        manifest = spe.preprocess(g, avg_tile_edges=40, name="grid", chunk_edges=33)
+        assert manifest.weighted
+        direct = build_tiles(g, avg_tile_edges=40)
+        for i, tile in enumerate(direct.tiles):
+            assert cluster.dfs.read(manifest.tile_path(i)) == tile.to_bytes()
+
+    def test_degree_arrays_persisted(self, cluster):
+        g = chung_lu_graph(150, 1500, seed=33)
+        spe = SPE(cluster.dfs)
+        manifest = spe.preprocess(g, avg_tile_edges=200, name="g")
+        inn, out = spe.load_degrees(manifest)
+        assert np.array_equal(inn, g.in_degrees)
+        assert np.array_equal(out, g.out_degrees)
+
+    def test_manifest_roundtrip(self, cluster):
+        g = chung_lu_graph(100, 1000, seed=34)
+        spe = SPE(cluster.dfs)
+        manifest = spe.preprocess(g, avg_tile_edges=150, name="g")
+        reloaded = spe.load_manifest("g")
+        assert reloaded.num_vertices == manifest.num_vertices
+        assert reloaded.num_edges == manifest.num_edges
+        assert np.array_equal(reloaded.splitter, manifest.splitter)
+        assert reloaded.tile_path(0) == "g/tile-0"
+
+    def test_refuses_double_preprocess(self, cluster):
+        g = chung_lu_graph(50, 400, seed=35)
+        spe = SPE(cluster.dfs)
+        spe.preprocess(g, avg_tile_edges=100, name="g")
+        with pytest.raises(FileExistsError):
+            spe.preprocess(g, avg_tile_edges=100, name="g")
+
+    def test_invalid_tile_size(self, cluster):
+        g = chung_lu_graph(50, 400, seed=36)
+        with pytest.raises(ValueError):
+            SPE(cluster.dfs).preprocess(g, avg_tile_edges=0, name="g")
+
+    def test_total_tile_bytes_smaller_than_csv(self, cluster):
+        from repro.graph import edge_list_csv_size
+
+        g = chung_lu_graph(500, 10_000, seed=37)
+        spe = SPE(cluster.dfs)
+        manifest = spe.preprocess(g, avg_tile_edges=2000, name="g")
+        assert spe.total_tile_bytes(manifest) < edge_list_csv_size(g)
+
+    def test_graph_with_isolated_tail_vertices(self, cluster):
+        """Vertices past the last edge target still get tile coverage."""
+        from repro.graph import Graph
+
+        g = Graph.from_edges([(0, 1), (1, 0)], num_vertices=10)
+        spe = SPE(cluster.dfs)
+        manifest = spe.preprocess(g, avg_tile_edges=1, name="g")
+        assert manifest.splitter[-1] == 10
+        last_tile = Tile.from_bytes(
+            cluster.dfs.read(manifest.tile_path(manifest.num_tiles - 1))
+        )
+        assert last_tile.target_hi == 10
+
+    def test_manifest_from_bytes_validation(self):
+        with pytest.raises(ValueError):
+            TileManifest.from_bytes(
+                "x",
+                TileManifest(
+                    name="x",
+                    num_vertices=5,
+                    num_edges=3,
+                    num_tiles=2,
+                    avg_tile_edges=2,
+                    weighted=False,
+                    splitter=np.array([0, 5], dtype=np.int64),  # wrong length
+                ).to_bytes(),
+            )

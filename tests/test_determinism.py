@@ -1,0 +1,82 @@
+"""Determinism and conservation invariants across the whole stack.
+
+BSP engines must be bit-reproducible: same graph + program + config →
+identical values *and* identical telemetry.  Cluster-wide conservation
+(bytes sent == bytes received) pins the channel accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_graphh, run_system
+from repro.apps import PageRank, SSSP
+from repro.core import MPEConfig
+from repro.graph import chung_lu_graph, load_dataset
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return chung_lu_graph(200, 2000, seed=160, name="det-g")
+
+
+class TestDeterminism:
+    def test_graphh_bit_identical_across_runs(self, skewed):
+        results = []
+        for _ in range(2):
+            result, cluster = run_graphh(
+                skewed, PageRank(), 3, max_supersteps=10
+            )
+            cluster.close()
+            results.append(result)
+        a, b = results
+        assert np.array_equal(a.values, b.values)
+        for sa, sb in zip(a.supersteps, b.supersteps):
+            assert sa.updated_vertices == sb.updated_vertices
+            assert sa.net_bytes == sb.net_bytes
+            assert sa.tiles_skipped == sb.tiles_skipped
+            assert sa.message_modes == sb.message_modes
+
+    def test_dataset_analogs_reproducible(self):
+        a = load_dataset("uk2007-s", "test")
+        b = load_dataset("uk2007-s", "test")
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)
+
+    @pytest.mark.parametrize("name", ["pregel+", "powerlyra", "graphd", "chaos"])
+    def test_baselines_bit_identical(self, name, skewed):
+        values = []
+        for _ in range(2):
+            result, cluster = run_system(
+                name, skewed, SSSP(source=0), 2, max_supersteps=50
+            )
+            cluster.close()
+            values.append(result.values)
+        assert np.array_equal(values[0], values[1])
+
+
+class TestConservation:
+    def test_bytes_sent_equal_bytes_received(self, skewed):
+        result, cluster = run_graphh(skewed, PageRank(), 4, max_supersteps=5)
+        agg = cluster.aggregate_counters()
+        cluster.close()
+        assert agg.net_sent == agg.net_recv
+        assert agg.net_sent > 0
+
+    def test_superstep_net_sums_to_totals(self, skewed):
+        result, cluster = run_graphh(skewed, PageRank(), 3, max_supersteps=5)
+        agg = cluster.aggregate_counters()
+        cluster.close()
+        assert sum(s.net_bytes for s in result.supersteps) == agg.net_sent
+
+    def test_edge_conservation_across_tiles(self, skewed):
+        """Every edge is processed exactly once per full superstep."""
+        result, cluster = run_graphh(
+            skewed,
+            PageRank(),
+            3,
+            config=MPEConfig(use_bloom_filters=False),
+            max_supersteps=2,
+        )
+        cluster.close()
+        tiles_per_step = {s.tiles_processed for s in result.supersteps}
+        assert len(tiles_per_step) == 1  # same tile count every superstep

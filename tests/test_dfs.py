@@ -1,0 +1,114 @@
+"""Tests for the DFS substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfs import DistributedFileSystem
+
+
+@pytest.fixture
+def dfs(tmp_path):
+    return DistributedFileSystem(
+        str(tmp_path / "dfs"), num_datanodes=3, block_size=64, replication=2
+    )
+
+
+class TestDfsBasics:
+    def test_write_read_roundtrip(self, dfs):
+        data = b"x" * 200  # spans 4 blocks at block_size=64
+        dfs.write("/graphs/tiny", data)
+        assert dfs.read("/graphs/tiny") == data
+
+    def test_exists_and_list(self, dfs):
+        dfs.write("/a/1", b"1")
+        dfs.write("/a/2", b"2")
+        dfs.write("/b/1", b"3")
+        assert dfs.exists("/a/1")
+        assert not dfs.exists("/a/3")
+        assert dfs.list_files("/a/") == ["/a/1", "/a/2"]
+        assert len(dfs.list_files()) == 3
+
+    def test_size(self, dfs):
+        dfs.write("/f", b"hello")
+        assert dfs.size("/f") == 5
+
+    def test_empty_file(self, dfs):
+        dfs.write("/empty", b"")
+        assert dfs.read("/empty") == b""
+        assert dfs.size("/empty") == 0
+
+    def test_read_missing_raises(self, dfs):
+        with pytest.raises(FileNotFoundError):
+            dfs.read("/nope")
+        with pytest.raises(FileNotFoundError):
+            dfs.size("/nope")
+
+    def test_overwrite_replaces(self, dfs):
+        dfs.write("/f", b"old" * 50)
+        dfs.write("/f", b"new")
+        assert dfs.read("/f") == b"new"
+
+    def test_delete(self, dfs):
+        dfs.write("/f", b"data")
+        stored_before = dfs.total_stored_bytes()
+        dfs.delete("/f")
+        assert not dfs.exists("/f")
+        assert dfs.total_stored_bytes() < stored_before
+        dfs.delete("/f")  # idempotent
+
+    def test_block_count(self, dfs):
+        dfs.write("/f", b"x" * 130)
+        assert dfs.info("/f").num_blocks == 3  # 64 + 64 + 2
+
+    def test_replication_factor(self, dfs):
+        dfs.write("/f", b"x" * 10)
+        info = dfs.info("/f")
+        for replicas in info.blocks:
+            assert len(replicas) == 2
+            nodes = {loc.datanode for loc in replicas}
+            assert len(nodes) == 2  # replicas on distinct datanodes
+
+    def test_replication_clamped_to_nodes(self, tmp_path):
+        dfs = DistributedFileSystem(
+            str(tmp_path), num_datanodes=2, block_size=64, replication=5
+        )
+        assert dfs.replication == 2
+
+    def test_physical_bytes_account_for_replicas(self, dfs):
+        dfs.write("/f", b"x" * 100)
+        assert dfs.total_stored_bytes() == 200  # 2 replicas
+
+    def test_locality_preference(self, dfs):
+        dfs.write("/f", b"y" * 64)
+        info = dfs.info("/f")
+        local_node = info.blocks[0][0].datanode
+        before = dfs.datanode_read_bytes()
+        dfs.read("/f", prefer_datanode=local_node)
+        after = dfs.datanode_read_bytes()
+        assert after[local_node] - before[local_node] == 64
+
+    def test_blocks_spread_over_datanodes(self, dfs):
+        dfs.write("/big", b"z" * 64 * 6)
+        used_nodes = {
+            loc.datanode for replicas in dfs.info("/big").blocks for loc in replicas
+        }
+        assert used_nodes == {0, 1, 2}
+
+    def test_invalid_configs(self, tmp_path):
+        with pytest.raises(ValueError):
+            DistributedFileSystem(str(tmp_path), num_datanodes=0)
+        with pytest.raises(ValueError):
+            DistributedFileSystem(str(tmp_path), block_size=0)
+        with pytest.raises(ValueError):
+            DistributedFileSystem(str(tmp_path), replication=0)
+
+
+@settings(max_examples=25)
+@given(data=st.binary(max_size=2000), block=st.integers(1, 257))
+def test_roundtrip_any_blocksize(tmp_path_factory, data, block):
+    root = tmp_path_factory.mktemp("dfs")
+    dfs = DistributedFileSystem(str(root), num_datanodes=4, block_size=block)
+    dfs.write("/f", data)
+    assert dfs.read("/f") == data
+    assert dfs.size("/f") == len(data)

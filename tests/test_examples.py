@@ -1,0 +1,36 @@
+"""Smoke tests: every shipped example must run clean end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_all_examples_present():
+    assert set(EXAMPLES) == {
+        "quickstart.py",
+        "webgraph_ranking.py",
+        "road_network_sssp.py",
+        "out_of_core_single_node.py",
+        "engine_shootout.py",
+        "fault_tolerance.py",
+    }
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    root = Path(__file__).parent.parent
+    proc = subprocess.run(
+        [sys.executable, str(root / "examples" / example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=root,
+    )
+    assert proc.returncode == 0, f"{example} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{example} produced no output"

@@ -1,0 +1,65 @@
+"""Tests for degree histograms and Gini skew measurement."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import chung_lu_graph, erdos_renyi_graph
+from repro.graph.stats import degree_histogram, gini_coefficient
+
+
+class TestDegreeHistogram:
+    def test_counts_sum_to_population(self):
+        degrees = np.array([0, 0, 1, 1, 2, 5, 9, 100])
+        rows = degree_histogram(degrees)
+        assert sum(c for _, _, c in rows) == degrees.size
+
+    def test_bins_are_log2(self):
+        rows = degree_histogram(np.array([1, 2, 3, 4, 8, 9]))
+        bounds = [(lo, hi) for lo, hi, _ in rows]
+        assert (1, 1) in bounds
+        assert (2, 3) in bounds
+        assert (4, 7) in bounds
+        assert (8, 15) in bounds
+
+    def test_zero_bin(self):
+        rows = degree_histogram(np.array([0, 0, 3]))
+        assert rows[0] == (0, 0, 2)
+
+    def test_empty(self):
+        assert degree_histogram(np.array([], dtype=np.int64)) == []
+
+    def test_power_law_has_long_tail(self):
+        g = chung_lu_graph(2000, 40_000, seed=190)
+        rows = degree_histogram(g.in_degrees)
+        assert len(rows) >= 6  # many octaves occupied
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 7)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_hub_near_one(self):
+        degrees = np.zeros(1000)
+        degrees[0] = 10_000
+        assert gini_coefficient(degrees) > 0.99
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(10)) == 0.0
+
+    def test_crawl_profile_in_skew_exceeds_out_skew(self):
+        """Table I's signature: in-degree skew >> out-degree skew."""
+        g = chung_lu_graph(3000, 90_000, seed=191)
+        assert gini_coefficient(g.in_degrees) > gini_coefficient(g.out_degrees)
+
+    def test_er_less_skewed_than_power_law(self):
+        er = erdos_renyi_graph(2000, 40_000, seed=192)
+        cl = chung_lu_graph(2000, 40_000, seed=192)
+        assert gini_coefficient(er.in_degrees) < gini_coefficient(cl.in_degrees)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    def test_bounds_property(self, degrees):
+        g = gini_coefficient(np.array(degrees))
+        assert -1e-9 <= g < 1.0

@@ -1,0 +1,51 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart(
+            [1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]}, title="demo"
+        )
+        assert out.splitlines()[0] == "demo"
+        assert "o" in out and "x" in out
+        assert "o a" in out and "x b" in out
+
+    def test_log_scale_skips_nonpositive(self):
+        out = ascii_chart([1, 2, 3], {"a": [0, 10, 1000]}, log_y=True)
+        # Only two valid points plotted; axis labels show real values.
+        assert "1e+03" in out or "1000" in out
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart([], {"a": []})
+
+    def test_non_numeric_skipped(self):
+        out = ascii_chart([1, 2], {"a": ["-", 5]})
+        assert "o" in out
+
+    def test_constant_series(self):
+        out = ascii_chart([1, 2, 3], {"a": [5, 5, 5]})
+        canvas = [l for l in out.splitlines() if "|" in l]
+        assert sum(l.count("o") for l in canvas) == 3
+
+    def test_canvas_size_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1]}, width=2)
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1]}, height=1)
+
+    def test_extremes_land_on_edges(self):
+        out = ascii_chart([0, 10], {"a": [0, 100]}, width=20, height=8)
+        lines = [l for l in out.splitlines() if "|" in l]
+        # Max value on top row, min on bottom row.
+        assert "o" in lines[0]
+        assert "o" in lines[-1]
+
+    def test_many_series_cycle_marks(self):
+        series = {f"s{i}": [i] for i in range(10)}
+        out = ascii_chart([1], series)
+        assert "s9" in out

@@ -1,0 +1,98 @@
+"""Tests for the vectorised segment reduction helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.segments import expand_indptr, segment_lengths, segment_reduce
+
+
+class TestSegmentReduce:
+    def test_add_basic(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        indptr = np.array([0, 2, 4])
+        assert segment_reduce(vals, indptr, "add").tolist() == [3.0, 7.0]
+
+    def test_min_basic(self):
+        vals = np.array([5.0, 2.0, 9.0])
+        indptr = np.array([0, 2, 3])
+        assert segment_reduce(vals, indptr, "min").tolist() == [2.0, 9.0]
+
+    def test_max_basic(self):
+        vals = np.array([5.0, 2.0, 9.0])
+        indptr = np.array([0, 2, 3])
+        assert segment_reduce(vals, indptr, "max").tolist() == [5.0, 9.0]
+
+    def test_empty_segment_gets_identity(self):
+        """The reduceat pitfall: empty rows must yield the identity."""
+        vals = np.array([1.0, 2.0])
+        indptr = np.array([0, 0, 2, 2])
+        assert segment_reduce(vals, indptr, "add").tolist() == [0.0, 3.0, 0.0]
+        out = segment_reduce(vals, indptr, "min")
+        assert out[0] == np.inf and out[1] == 1.0 and out[2] == np.inf
+
+    def test_leading_and_trailing_empty(self):
+        vals = np.array([7.0])
+        indptr = np.array([0, 0, 0, 1, 1])
+        assert segment_reduce(vals, indptr, "add").tolist() == [0.0, 0.0, 7.0, 0.0]
+
+    def test_all_empty(self):
+        out = segment_reduce(np.zeros(0), np.array([0, 0, 0]), "min")
+        assert out.tolist() == [np.inf, np.inf]
+
+    def test_no_rows(self):
+        assert segment_reduce(np.zeros(0), np.array([0]), "add").size == 0
+
+    def test_custom_identity(self):
+        out = segment_reduce(np.zeros(0), np.array([0, 0]), "add", identity=-1.0)
+        assert out.tolist() == [-1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            segment_reduce(np.zeros(2), np.array([0, 1]), "add")  # length mismatch
+        with pytest.raises(ValueError):
+            segment_reduce(np.zeros(2), np.array([0, 2]), "median")
+        with pytest.raises(ValueError):
+            segment_reduce(np.zeros(2), np.array([1, 2]), "add")  # bad start
+        with pytest.raises(ValueError):
+            segment_reduce(np.zeros(2), np.array([0, 2, 1]), "add")  # decreasing
+
+    @settings(max_examples=50)
+    @given(
+        lengths=st.lists(st.integers(0, 6), min_size=1, max_size=30),
+        op=st.sampled_from(["add", "min", "max"]),
+        data=st.data(),
+    )
+    def test_matches_python_loop(self, lengths, op, data):
+        total = sum(lengths)
+        vals = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(-100, 100, allow_nan=False),
+                    min_size=total,
+                    max_size=total,
+                )
+            ),
+            dtype=np.float64,
+        )
+        indptr = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        result = segment_reduce(vals, indptr, op)
+        py_op = {"add": sum, "min": min, "max": max}[op]
+        identity = {"add": 0.0, "min": np.inf, "max": -np.inf}[op]
+        for i, ln in enumerate(lengths):
+            seg = vals[indptr[i] : indptr[i + 1]].tolist()
+            expected = py_op(seg) if seg else identity
+            assert result[i] == pytest.approx(expected)
+
+
+class TestHelpers:
+    def test_segment_lengths(self):
+        assert segment_lengths(np.array([0, 2, 2, 5])).tolist() == [2, 0, 3]
+
+    def test_expand_indptr(self):
+        assert expand_indptr(np.array([0, 2, 2, 5])).tolist() == [0, 0, 2, 2, 2]
+
+    def test_expand_empty(self):
+        assert expand_indptr(np.array([0])).size == 0

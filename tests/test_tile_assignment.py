@@ -1,0 +1,96 @@
+"""Tests for stage-two tile placement strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import run_graphh
+from repro.apps import PageRank, reference_solution
+from repro.core import MPEConfig
+from repro.graph import chung_lu_graph
+from repro.partition import assign_tiles_balanced, assign_tiles_round_robin
+
+
+class TestBalancedAssignment:
+    def test_partitions_all_tiles(self):
+        assignment = assign_tiles_balanced([5, 1, 9, 2, 2], 2)
+        placed = sorted(t for tiles in assignment for t in tiles)
+        assert placed == [0, 1, 2, 3, 4]
+
+    def test_lists_sorted(self):
+        for tiles in assign_tiles_balanced([3, 9, 1, 7, 2, 8], 3):
+            assert tiles == sorted(tiles)
+
+    def test_beats_round_robin_on_skewed_sizes(self):
+        # Heavy tiles at even indices — round-robin's worst case.
+        sizes = [100, 1, 100, 1, 100, 1, 100, 1]
+        rr = assign_tiles_round_robin(len(sizes), 2)
+        bal = assign_tiles_balanced(sizes, 2)
+
+        def imbalance(assignment):
+            loads = [sum(sizes[t] for t in tiles) for tiles in assignment]
+            return max(loads) / (sum(loads) / len(loads))
+
+        assert imbalance(bal) < imbalance(rr)
+        assert imbalance(bal) == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_tiles_balanced([1], 0)
+
+    @given(
+        sizes=st.lists(st.integers(0, 1000), max_size=40),
+        servers=st.integers(1, 8),
+    )
+    def test_lpt_imbalance_bound_property(self, sizes, servers):
+        assignment = assign_tiles_balanced(sizes, servers)
+        loads = [sum(sizes[t] for t in tiles) for tiles in assignment]
+        total = sum(sizes)
+        if total == 0:
+            return
+        longest = max(sizes)
+        # Graham's list-scheduling bound on the makespan.
+        assert max(loads) <= total / servers + longest + 1e-6
+        assert sorted(t for tiles in assignment for t in tiles) == list(
+            range(len(sizes))
+        )
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def skewed(self):
+        # Moderate cap → visibly uneven tile sizes.
+        return chung_lu_graph(400, 8000, seed=140, max_in_fraction=0.1)
+
+    def test_balanced_same_answers(self, skewed):
+        expected, _ = reference_solution(PageRank(), skewed, 300)
+        result, cluster = run_graphh(
+            skewed,
+            PageRank(),
+            num_servers=3,
+            config=MPEConfig(tile_assignment="balanced"),
+            max_supersteps=300,
+        )
+        cluster.close()
+        assert np.allclose(result.values, expected, atol=1e-6)
+
+    def test_balanced_reduces_straggler_compute(self, skewed):
+        def straggler_edges(assignment_mode):
+            result, cluster = run_graphh(
+                skewed,
+                PageRank(),
+                num_servers=4,
+                config=MPEConfig(tile_assignment=assignment_mode),
+                max_supersteps=3,
+                avg_tile_edges=skewed.num_edges // 16,
+            )
+            worst = max(s.counters.edges_processed for s in cluster.servers)
+            cluster.close()
+            return worst
+
+        assert straggler_edges("balanced") <= straggler_edges("round_robin")
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            MPEConfig(tile_assignment="random")

@@ -1,0 +1,164 @@
+"""Unit and property tests for repro.utils.bitset."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import Bitset
+
+
+class TestBitsetBasics:
+    def test_new_bitset_is_empty(self):
+        bs = Bitset(100)
+        assert bs.count() == 0
+        assert len(bs) == 0
+        assert not bs.test(0)
+        assert not bs.test(99)
+
+    def test_set_and_test(self):
+        bs = Bitset(130)
+        bs.set(0)
+        bs.set(64)
+        bs.set(129)
+        assert bs.test(0) and bs.test(64) and bs.test(129)
+        assert not bs.test(1)
+        assert bs.count() == 3
+
+    def test_clear(self):
+        bs = Bitset(10)
+        bs.set(5)
+        bs.clear(5)
+        assert not bs.test(5)
+        assert bs.count() == 0
+
+    def test_contains_protocol(self):
+        bs = Bitset(8)
+        bs.set(3)
+        assert 3 in bs
+        assert 4 not in bs
+
+    def test_out_of_range_raises(self):
+        bs = Bitset(8)
+        with pytest.raises(IndexError):
+            bs.set(8)
+        with pytest.raises(IndexError):
+            bs.test(-1)
+        with pytest.raises(IndexError):
+            bs.set_many(np.array([0, 8]))
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            Bitset(-1)
+
+    def test_zero_size(self):
+        bs = Bitset(0)
+        assert bs.count() == 0
+        assert bs.to_indices().size == 0
+
+    def test_set_many_and_to_indices(self):
+        bs = Bitset(200)
+        idx = np.array([0, 63, 64, 65, 127, 128, 199])
+        bs.set_many(idx)
+        assert np.array_equal(bs.to_indices(), idx)
+
+    def test_set_many_empty(self):
+        bs = Bitset(10)
+        bs.set_many(np.array([], dtype=np.int64))
+        assert bs.count() == 0
+
+    def test_test_many(self):
+        bs = Bitset(50)
+        bs.set_many(np.array([1, 2, 3]))
+        result = bs.test_many(np.array([0, 1, 2, 3, 4]))
+        assert result.tolist() == [False, True, True, True, False]
+
+    def test_any_of(self):
+        bs = Bitset(50)
+        bs.set(10)
+        assert bs.any_of(np.array([9, 10]))
+        assert not bs.any_of(np.array([9, 11]))
+
+    def test_union_update(self):
+        a, b = Bitset(70), Bitset(70)
+        a.set(1)
+        b.set(65)
+        a.union_update(b)
+        assert a.test(1) and a.test(65)
+
+    def test_union_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Bitset(10).union_update(Bitset(11))
+
+    def test_clear_all(self):
+        bs = Bitset(100)
+        bs.set_many(np.arange(100))
+        bs.clear_all()
+        assert bs.count() == 0
+
+    def test_copy_is_independent(self):
+        bs = Bitset(10)
+        bs.set(1)
+        dup = bs.copy()
+        dup.set(2)
+        assert not bs.test(2)
+        assert dup.test(1)
+
+    def test_equality(self):
+        a, b = Bitset(10), Bitset(10)
+        a.set(3)
+        b.set(3)
+        assert a == b
+        b.set(4)
+        assert a != b
+
+    def test_bool_array_roundtrip(self):
+        bs = Bitset(67)
+        bs.set_many(np.array([0, 66]))
+        mask = bs.to_bool_array()
+        assert mask.shape == (67,)
+        assert mask[0] and mask[66] and mask.sum() == 2
+
+    def test_nbytes(self):
+        assert Bitset(64).nbytes == 8
+        assert Bitset(65).nbytes == 16
+
+    def test_iter(self):
+        bs = Bitset(10)
+        bs.set_many(np.array([2, 7]))
+        assert list(bs) == [2, 7]
+
+
+@given(
+    size=st.integers(1, 500),
+    data=st.data(),
+)
+def test_bitset_matches_python_set(size, data):
+    """Bitset behaves exactly like a set of ints under set/clear."""
+    bs = Bitset(size)
+    model: set[int] = set()
+    ops = data.draw(
+        st.lists(
+            st.tuples(st.sampled_from(["set", "clear"]), st.integers(0, size - 1)),
+            max_size=50,
+        )
+    )
+    for op, idx in ops:
+        if op == "set":
+            bs.set(idx)
+            model.add(idx)
+        else:
+            bs.clear(idx)
+            model.discard(idx)
+    assert bs.count() == len(model)
+    assert bs.to_indices().tolist() == sorted(model)
+
+
+@given(st.lists(st.integers(0, 999), max_size=200))
+def test_set_many_equals_individual_sets(indices):
+    bulk = Bitset(1000)
+    single = Bitset(1000)
+    bulk.set_many(np.array(indices, dtype=np.int64))
+    for i in indices:
+        single.set(i)
+    assert bulk == single

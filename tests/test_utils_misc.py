@@ -1,0 +1,122 @@
+"""Tests for varint coding, size parsing, and RNG derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import (
+    GB,
+    KB,
+    MB,
+    decode_uvarints,
+    encode_uvarints,
+    human_bytes,
+    make_rng,
+    parse_size,
+)
+from repro.utils.varint import decode_sorted_ids, encode_sorted_ids
+
+
+class TestVarint:
+    def test_empty(self):
+        assert encode_uvarints(np.array([], dtype=np.uint64)) == b""
+        assert decode_uvarints(b"").size == 0
+
+    def test_small_values_one_byte_each(self):
+        data = encode_uvarints(np.array([0, 1, 127]))
+        assert len(data) == 3
+        assert decode_uvarints(data).tolist() == [0, 1, 127]
+
+    def test_boundary_values(self):
+        values = [0, 127, 128, 16383, 16384, 2**32, 2**62]
+        data = encode_uvarints(np.array(values, dtype=np.uint64))
+        assert decode_uvarints(data).tolist() == values
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarints(np.array([-1]))
+
+    def test_truncated_stream_rejected(self):
+        data = encode_uvarints(np.array([300]))
+        with pytest.raises(ValueError):
+            decode_uvarints(data[:-1] + b"\x80")
+
+    def test_sorted_ids_roundtrip(self):
+        ids = np.array([3, 3, 10, 500, 10_000])
+        assert decode_sorted_ids(encode_sorted_ids(ids)).tolist() == ids.tolist()
+
+    def test_sorted_ids_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            encode_sorted_ids(np.array([5, 3]))
+
+    def test_delta_coding_is_compact(self):
+        # Dense consecutive ids should cost ~1 byte each after deltas.
+        ids = np.arange(100_000, 101_000)
+        assert len(encode_sorted_ids(ids)) < 1005
+
+    @given(st.lists(st.integers(0, 2**63 - 1), max_size=300))
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        assert decode_uvarints(encode_uvarints(arr)).tolist() == values
+
+
+class TestSizes:
+    def test_constants(self):
+        assert KB == 1024 and MB == 1024**2 and GB == 1024**3
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("128GB", 128 * GB),
+            ("1.5 MB", int(1.5 * MB)),
+            ("512", 512),
+            ("2k", 2 * KB),
+            ("3T", 3 * 1024 * GB),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_parse_number_passthrough(self):
+        assert parse_size(42) == 42
+        assert parse_size(42.9) == 42
+
+    def test_parse_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("twelve")
+        with pytest.raises(ValueError):
+            parse_size("12XB")
+
+    def test_human_bytes(self):
+        assert human_bytes(0) == "0B"
+        assert human_bytes(1536) == "1.50KB"
+        assert human_bytes(2 * GB) == "2.00GB"
+        assert human_bytes(-GB) == "-1.00GB"
+
+    def test_human_parse_roundtrip(self):
+        for n in [1, KB, 3 * MB, 7 * GB]:
+            assert abs(parse_size(human_bytes(n)) - n) <= 0.01 * n
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7, "x").random(5)
+        b = make_rng(7, "x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_substreams_differ(self):
+        a = make_rng(7, "x").random(5)
+        b = make_rng(7, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_generator_with_stream_rejected(self):
+        with pytest.raises(ValueError):
+            make_rng(np.random.default_rng(0), "x")
+
+    def test_none_seed_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)

@@ -1,0 +1,46 @@
+"""Tests for the cross-engine validation sweep."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import cross_validate
+from repro.apps import SSSP, PageRank
+from repro.graph import chung_lu_graph, grid_graph
+
+
+class TestCrossValidate:
+    def test_seven_engines_agree_on_pagerank(self):
+        g = chung_lu_graph(120, 1000, seed=170, name="xv-pr")
+        report = cross_validate(g, lambda: PageRank(), num_servers=2)
+        assert len(report.entries) == 7
+        assert report.all_match, report.mismatches()
+
+    def test_seven_engines_agree_on_sssp(self):
+        g = grid_graph(6, 6, seed=171, name="xv-sssp")
+        report = cross_validate(g, lambda: SSSP(source=0), num_servers=2)
+        assert report.all_match, report.mismatches()
+
+    def test_render(self):
+        g = chung_lu_graph(60, 400, seed=172, name="xv-small")
+        report = cross_validate(g, lambda: PageRank(), num_servers=2)
+        text = report.render()
+        assert "graphh-aa" in text and "gridgraph" in text
+        assert "MATCH" in text and "MISMATCH" not in text
+
+    def test_detects_divergence(self):
+        """Sanity: a broken program factory must be caught, not hidden."""
+
+        class Drifting(PageRank):
+            calls = 0
+
+            def __init__(self):
+                super().__init__()
+                # Each engine gets a slightly different damping — the
+                # report must flag the disagreement.
+                type(self).calls += 1
+                self.damping = 0.85 + 0.01 * type(self).calls
+
+        g = chung_lu_graph(60, 400, seed=173, name="xv-drift")
+        report = cross_validate(g, Drifting, num_servers=2)
+        assert not report.all_match
+        assert len(report.mismatches()) >= 1

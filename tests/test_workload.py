@@ -1,0 +1,61 @@
+"""Tests for the multi-program workload driver."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.workload import WorkloadRunner
+from repro.apps import (
+    BFS,
+    SSSP,
+    InDegreeCentrality,
+    KatzCentrality,
+    PageRank,
+    reference_solution,
+)
+from repro.graph import chung_lu_graph
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return chung_lu_graph(150, 1500, seed=150, name="wl-graph")
+
+
+class TestWorkloadRunner:
+    def test_batch_reuses_tiles(self, skewed):
+        with WorkloadRunner(skewed, num_servers=2) as runner:
+            dfs = runner._gh.cluster.dfs
+            tiles_before = len(dfs.list_files("wl-graph/"))
+            report = runner.run(
+                [PageRank(), SSSP(source=0), InDegreeCentrality()]
+            )
+            tiles_after = len(dfs.list_files("wl-graph/"))
+        assert tiles_before == tiles_after  # SPE ran exactly once
+        assert len(report.entries) == 3
+
+    def test_batch_answers_correct(self, skewed):
+        programs = [PageRank(), SSSP(source=0), KatzCentrality(), BFS(source=1)]
+        with WorkloadRunner(skewed, num_servers=3) as runner:
+            report = runner.run(programs)
+        for program in programs:
+            expected, _ = reference_solution(
+                type(program)() if program.name in ("pagerank", "katz")
+                else program,
+                skewed,
+                500,
+            )
+            got = report.values_for(program.name)
+            assert np.allclose(got, expected, atol=1e-6), program.name
+
+    def test_report_render(self, skewed):
+        with WorkloadRunner(skewed, num_servers=1) as runner:
+            report = runner.run([PageRank()])
+        text = report.render()
+        assert "pagerank" in text
+        assert "wl-graph" in text
+        assert "supersteps" in text
+
+    def test_values_for_unknown(self, skewed):
+        with WorkloadRunner(skewed, num_servers=1) as runner:
+            report = runner.run([PageRank()])
+        with pytest.raises(KeyError):
+            report.values_for("sssp")

@@ -1,0 +1,28 @@
+"""Tests for the measured-memory OOM feasibility check."""
+
+import pytest
+
+from repro.analysis.experiments import run_system, would_oom
+from repro.apps import PageRank
+from repro.graph import load_dataset
+
+
+class TestWouldOom:
+    def test_graphh_fits_everywhere(self):
+        """GraphH's whole pitch: even the biggest analog fits 128GB."""
+        graph = load_dataset("eu2015-s", "test")
+        result, cluster = run_system(
+            "graphh", graph, PageRank(), num_servers=9, max_supersteps=2
+        )
+        verdict = would_oom(cluster, "test")
+        cluster.close()
+        assert not verdict
+
+    def test_small_graph_fits_in_memory_engine(self):
+        graph = load_dataset("twitter2010-s", "test")
+        result, cluster = run_system(
+            "pregel+", graph, PageRank(), num_servers=9, max_supersteps=2
+        )
+        verdict = would_oom(cluster, "test")
+        cluster.close()
+        assert not verdict
