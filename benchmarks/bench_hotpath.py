@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""Hot-path wall-clock benchmark: supersteps/sec for PageRank on uk2007-s.
+
+Unlike the table/figure benches (which regenerate the paper's *modeled*
+results), this one measures how fast the simulator itself runs on the
+host: the sum of per-superstep ``wall_s`` (preprocessing and setup
+excluded) for PageRank with a fixed superstep count, across the runtime
+configurations introduced by the parallel-runtime PR:
+
+* ``serial``           — SerialExecutor, decoded-tile cache off
+* ``serial+decoded``   — SerialExecutor, decoded-tile cache on
+* ``parallel+decoded`` — ParallelExecutor, decoded-tile cache on
+
+at N ∈ {1, 9} simulated servers.  Each config reports the cold step
+(superstep 0: every tile parsed from bytes) and the warm mean (cache-
+resident steps).  Vertex values are asserted bitwise identical across
+all configs before anything is written — a perf number from a wrong
+answer is worthless.
+
+``--seed-src DIR`` additionally times the same workload against an
+older source tree (e.g. a git worktree of the seed commit) in a
+subprocess, and records the speedup of ``parallel+decoded`` over that
+baseline.  Without it the JSON still carries the per-config numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py             # bench tier
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_hotpath.py \
+        --seed-src /path/to/seed-worktree                          # + baseline
+
+Emits ``BENCH_hotpath.json`` at the repository root by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SUPERSTEPS = 8
+DATASET = "uk2007-s"
+
+
+def _time_workload(tier: str, num_servers: int, supersteps: int, config_kwargs):
+    """One timed run; returns (steps_total, cold, warm_mean, values)."""
+    from repro.analysis.experiments import run_graphh
+    from repro.apps import PageRank
+    from repro.core import MPEConfig
+    from repro.graph import load_dataset
+
+    graph = load_dataset(DATASET, tier)
+    config = MPEConfig(**config_kwargs) if config_kwargs else None
+    # tolerance=0 keeps the superstep count fixed across configs, so
+    # steps_total compares identical work.
+    result, cluster = run_graphh(
+        graph,
+        PageRank(tolerance=0.0),
+        num_servers,
+        config=config,
+        max_supersteps=supersteps,
+    )
+    cluster.close()
+    walls = [s.wall_s for s in result.supersteps]
+    warm = walls[1:] or walls
+    return (
+        float(sum(walls)),
+        float(walls[0]),
+        float(np.mean(warm)),
+        result.values,
+    )
+
+
+def measure(tier, num_servers, supersteps, repeats, config_kwargs):
+    """Best-of-``repeats`` timing (min steps_total; values from last run)."""
+    best = None
+    values = None
+    for _ in range(repeats):
+        steps_total, cold, warm, values = _time_workload(
+            tier, num_servers, supersteps, config_kwargs
+        )
+        row = {
+            "steps_total_s": steps_total,
+            "cold_step_s": cold,
+            "warm_mean_s": warm,
+            "supersteps_per_s": supersteps / steps_total if steps_total else 0.0,
+        }
+        if best is None or row["steps_total_s"] < best["steps_total_s"]:
+            best = row
+    return best, values
+
+
+CONFIGS = [
+    ("serial", {"executor": "serial", "decoded_cache": False}),
+    ("serial+decoded", {"executor": "serial", "decoded_cache": True}),
+    ("parallel+decoded", {"executor": "parallel", "decoded_cache": True}),
+]
+
+
+def _worker_main(argv) -> int:
+    """Subprocess entry: time the default config against whatever
+    ``repro`` is importable (used for ``--seed-src`` baselines; touches
+    only API the seed already had)."""
+    tier, num_servers, supersteps, repeats = (
+        argv[0],
+        int(argv[1]),
+        int(argv[2]),
+        int(argv[3]),
+    )
+    best, _ = measure(tier, num_servers, supersteps, repeats, None)
+    json.dump(best, sys.stdout)
+    return 0
+
+
+def _seed_baseline(seed_src, tier, num_servers, supersteps, repeats):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(seed_src).resolve())
+    out = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--worker",
+            tier,
+            str(num_servers),
+            str(supersteps),
+            str(repeats),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if out.returncode != 0:
+        raise SystemExit(
+            f"--seed-src baseline failed (is {seed_src!r} an importable "
+            f"repro src/ dir?):\n{out.stderr.strip().splitlines()[-1]}"
+        )
+    return json.loads(out.stdout)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tier", default="bench", choices=["test", "bench"])
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_hotpath.json"), help="output JSON"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast run for CI: test tier, N in {1,3}, 4 supersteps",
+    )
+    parser.add_argument(
+        "--seed-src",
+        default=None,
+        help="path to a seed checkout's src/ to time as the baseline",
+    )
+    parser.add_argument("--worker", nargs=4, metavar=("TIER", "N", "STEPS", "REPS"))
+    args = parser.parse_args()
+    if args.worker:
+        return _worker_main(args.worker)
+
+    tier = "test" if args.smoke else args.tier
+    server_counts = (1, 3) if args.smoke else (1, 9)
+    supersteps = 4 if args.smoke else SUPERSTEPS
+    repeats = 1 if args.smoke else args.repeats
+
+    from repro.runtime import default_num_threads
+
+    report = {
+        "benchmark": "hotpath",
+        "dataset": DATASET,
+        "tier": tier,
+        "program": "pagerank(tolerance=0)",
+        "supersteps": supersteps,
+        "repeats": repeats,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "parallel_threads": default_num_threads(),
+        },
+        "generated_unix": time.time(),
+        "results": [],
+    }
+
+    for num_servers in server_counts:
+        reference_values = None
+        for name, kwargs in CONFIGS:
+            best, values = measure(tier, num_servers, supersteps, repeats, kwargs)
+            if reference_values is None:
+                reference_values = values
+            elif not np.array_equal(values, reference_values):
+                raise SystemExit(
+                    f"values diverged for config {name!r} at N={num_servers}"
+                )
+            row = {"config": name, "num_servers": num_servers, **best}
+            report["results"].append(row)
+            print(
+                f"N={num_servers:<2} {name:<17} steps_total={best['steps_total_s']:.3f}s"
+                f" cold={best['cold_step_s']:.4f}s warm={best['warm_mean_s']:.4f}s"
+                f" ({best['supersteps_per_s']:.1f} supersteps/s)"
+            )
+
+    if args.seed_src:
+        report["seed_baseline"] = {}
+        report["speedup_vs_seed"] = {}
+        for num_servers in server_counts:
+            base = _seed_baseline(
+                args.seed_src, tier, num_servers, supersteps, repeats
+            )
+            report["seed_baseline"][f"N={num_servers}"] = base
+            par = next(
+                r
+                for r in report["results"]
+                if r["config"] == "parallel+decoded"
+                and r["num_servers"] == num_servers
+            )
+            speedup = base["steps_total_s"] / par["steps_total_s"]
+            report["speedup_vs_seed"][f"N={num_servers}"] = speedup
+            print(
+                f"N={num_servers:<2} seed baseline steps_total="
+                f"{base['steps_total_s']:.3f}s → speedup {speedup:.2f}x"
+            )
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

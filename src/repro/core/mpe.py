@@ -43,9 +43,10 @@ from repro.partition.tiles import (
     assign_tiles_balanced,
     assign_tiles_round_robin,
 )
+from repro.runtime import make_executor
 from repro.storage.cache import select_cache_mode
-from repro.utils.bloom import BloomFilter
-from repro.utils.segments import segment_reduce
+from repro.utils.bloom import ALL_KEYS, BloomFilter, HashedKeys, hash_keys
+from repro.utils.segments import merge_sorted_unique, segment_reduce
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,19 @@ class MPEConfig:
     # Snapshot values+update-set into DFS every k supersteps; None
     # disables.  See repro.core.checkpoint.
     checkpoint_every: int | None = None
+    # --- host-runtime knobs (repro.runtime) ---------------------------
+    # How the per-server superstep loop executes on the host: "serial"
+    # (reference order) or "parallel" (one OS thread per simulated
+    # server; bitwise-identical results, identical metering).
+    executor: str = "serial"
+    # Thread count for the parallel executor (None → one per core).
+    num_threads: int | None = None
+    # Keep decoded Tile objects live between supersteps instead of
+    # re-running Tile.from_bytes per blob per superstep.  Metering is
+    # byte-identical either way (Server.load_tile), so this defaults on.
+    decoded_cache: bool = True
+    # LRU bound on live decoded tiles per server (None → all of them).
+    decoded_cache_entries: int | None = None
 
     def __post_init__(self) -> None:
         if self.comm_mode not in ("hybrid", "dense", "sparse"):
@@ -81,6 +95,12 @@ class MPEConfig:
             raise ValueError("max_supersteps must be >= 1")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1 or None")
+        if self.executor not in ("serial", "parallel"):
+            raise ValueError('executor must be "serial" or "parallel"')
+        if self.num_threads is not None and self.num_threads < 1:
+            raise ValueError("num_threads must be >= 1 or None")
+        if self.decoded_cache_entries is not None and self.decoded_cache_entries < 1:
+            raise ValueError("decoded_cache_entries must be >= 1 or None")
 
 
 @dataclass
@@ -185,6 +205,10 @@ class MPE:
         # Per-server sorted global ids of the targets its tiles own —
         # the shared static index behind range-dense broadcasts.
         self._server_target_ids: list[np.ndarray] = []
+        # Diagnostics: how often the pre-sorted-parts invariant failed
+        # and the concatenated update buffer needed a real argsort
+        # (expected to stay 0 for both assignment modes).
+        self.sort_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Setup: fetch tiles, build blooms, size caches
@@ -256,6 +280,10 @@ class MPE:
             if mode is None:
                 mode = select_cache_mode(per_server_bytes[server_id], capacity)
             server.attach_cache(capacity_bytes=capacity, mode=mode)
+            if self.config.decoded_cache:
+                server.attach_decoded_cache(
+                    max_entries=self.config.decoded_cache_entries
+                )
         self._tiles_fetched = True
 
     # ------------------------------------------------------------------
@@ -333,167 +361,257 @@ class MPE:
         cost_model = CostModel(self.cluster.spec)
         converged = False
 
-        for superstep in range(start_superstep, cfg.max_supersteps):
-            t0 = time.perf_counter()
-            before = {s.server_id: _snapshot(s) for s in servers}
-            tiles_processed = 0
-            tiles_skipped = 0
-            message_modes: list[int] = []
-            all_updates: list[tuple[np.ndarray, np.ndarray]] = []
+        executor = make_executor(cfg.executor, cfg.num_threads)
+        try:
+            for superstep in range(start_superstep, cfg.max_supersteps):
+                t0 = time.perf_counter()
+                before = {s.server_id: _snapshot(s) for s in servers}
+                tiles_processed = 0
+                tiles_skipped = 0
+                message_modes: list[int] = []
+                all_updates: list[tuple[np.ndarray, np.ndarray]] = []
 
-            for server in servers:
-                store = server.state["store"]
-                changed_ids_parts: list[np.ndarray] = []
-                changed_vals_parts: list[np.ndarray] = []
-                tile_edge_counts: list[int] = []
-                for tile_id, blob_name, nbytes in self._assignments[
-                    server.server_id
-                ]:
-                    if (
-                        superstep > 0
-                        and cfg.use_bloom_filters
-                        and prev_updated is not None
-                        and not self._blooms[tile_id].might_intersect(prev_updated)
-                    ):
-                        tiles_skipped += 1
-                        continue
-                    tile = Tile.from_bytes(server.load_blob(blob_name))
-                    server.counters.add_memory("scratch", nbytes)
-                    ids, vals = _process_tile(program, tile, store)
-                    server.counters.add_memory("scratch", -nbytes)
-                    tile_edge_counts.append(tile.num_edges)
-                    tiles_processed += 1
-                    if ids.size:
-                        changed_ids_parts.append(ids)
-                        changed_vals_parts.append(vals)
-
-                # Charge compute as the LPT makespan of this server's
-                # indivisible tiles over its T workers (§III-C.3's
-                # OpenMP parallelism, honestly accounting stragglers).
-                server.counters.edges_processed += int(
-                    round(
-                        effective_parallel_volume(
-                            tile_edge_counts,
-                            self.cluster.spec.workers_per_server,
-                        )
+                # Hash the updated set once per superstep: bloom probe
+                # hashes are filter-independent, so every tile check on
+                # every server shares this read-only batch instead of
+                # re-mixing the whole set per tile.  When *every* vertex
+                # updated (PageRank's dense phase), ALL_KEYS lets the
+                # filter answer from its insert count alone — provably
+                # the same decision, zero hashing.
+                prev_hashed = None
+                if cfg.use_bloom_filters and prev_updated is not None:
+                    prev_hashed = (
+                        ALL_KEYS
+                        if prev_updated.size == num_vertices
+                        else hash_keys(prev_updated)
                     )
-                )
 
-                if changed_ids_parts:
-                    ids = np.concatenate(changed_ids_parts)
-                    vals = np.concatenate(changed_vals_parts)
-                    order = np.argsort(ids)
-                    ids, vals = ids[order], vals[order]
-                else:
-                    ids = np.zeros(0, dtype=np.int64)
-                    vals = np.zeros(0, dtype=np.float64)
-                all_updates.append((ids, vals))
-
-                # Broadcast this server's updated-value buffer: dense
-                # form covers only the targets its tiles own (receivers
-                # share the static target index), sparse form ships
-                # local (index, value) pairs.
-                if len(servers) > 1:
-                    own_targets = self._server_target_ids[server.server_id]
-                    staged = store.gather_values(own_targets).copy()
-                    local_ids = np.searchsorted(own_targets, ids)
-                    staged[local_ids] = vals
-                    forced = {
-                        "dense": DENSE,
-                        "sparse": SPARSE,
-                        "hybrid": None,
-                    }[cfg.comm_mode]
-                    payload = encode_update(
-                        staged,
-                        local_ids,
-                        codec_name=cfg.message_codec,
-                        mode=forced,
-                        threshold=cfg.sparsity_threshold,
-                    )
-                    message_modes.append(payload[0])
-                    if cfg.message_codec != "raw":
-                        server.counters.add_compressed(
-                            cfg.message_codec, len(payload)
-                        )
-                    self.channel.broadcast(server.server_id, payload)
-
-            # ---- BSP barrier: apply all updates everywhere -------------
-            updated_count = 0
-            updated_union: list[np.ndarray] = []
-            for server in servers:
-                store = server.state["store"]
-                own_ids, own_vals = all_updates[server.server_id]
-                store.write(own_ids, own_vals)
-                for envelope in self.channel.receive_all(server.server_id):
-                    payload = decode_update(envelope.payload)
-                    sender_targets = self._server_target_ids[envelope.src]
-                    store.write(sender_targets[payload.ids], payload.values)
-                    if cfg.message_codec != "raw":
-                        server.counters.add_decompressed(
-                            cfg.message_codec, len(envelope.payload)
-                        )
-            for ids, _ in all_updates:
-                updated_union.append(ids)
-                updated_count += ids.size
-            prev_updated = (
-                np.unique(np.concatenate(updated_union))
-                if updated_union
-                else np.zeros(0, dtype=np.int64)
-            )
-
-            # ---- per-superstep accounting ------------------------------
-            step_deltas = [
-                _delta(server, before[server.server_id]) for server in servers
-            ]
-            step_cost = cost_model.superstep_time(step_deltas)
-            # Per-superstep hit ratio: delta hits over delta lookups.
-            hits = []
-            for server in servers:
-                if server.cache is None:
-                    continue
-                h0, l0 = before[server.server_id][9]
-                dl = server.cache.stats.lookups - l0
-                dh = server.cache.stats.hits - h0
-                if dl:
-                    hits.append(dh / dl)
-            reports.append(
-                SuperstepReport(
-                    superstep=superstep,
-                    updated_vertices=updated_count,
-                    tiles_processed=tiles_processed,
-                    tiles_skipped=tiles_skipped,
-                    net_bytes=sum(d.net_sent for d in step_deltas),
-                    disk_read_bytes=sum(
-                        d.disk_read + d.disk_read_random for d in step_deltas
+                # ---- compute: each server streams its tiles ------------
+                # Fanned out by the executor; each call touches only its
+                # own server's state (+ read-only shared structures), so
+                # thread-parallel execution is race-free and bitwise
+                # identical to serial.  Cross-server effects (broadcast
+                # delivery) are staged in the results and flushed below
+                # in server-id order, exactly like the serial schedule.
+                steps = executor.map(
+                    lambda server: self._compute_server_step(
+                        program, server, superstep, prev_hashed
                     ),
-                    cache_hit_ratio=float(np.mean(hits)) if hits else 1.0,
-                    message_modes=message_modes,
-                    modeled=step_cost,
-                    wall_s=time.perf_counter() - t0,
+                    servers,
                 )
-            )
-            if (
-                cfg.checkpoint_every is not None
-                and updated_count > 0
-                and (superstep + 1) % cfg.checkpoint_every == 0
-            ):
-                write_checkpoint(
-                    self.cluster.dfs,
-                    self.manifest.name,
-                    program.name,
-                    superstep,
-                    self._collect_values(cfg, servers, init_values),
-                    prev_updated,
+                for server, step in zip(servers, steps):
+                    tiles_processed += step.tiles_processed
+                    tiles_skipped += step.tiles_skipped
+                    self.sort_fallbacks += step.sort_fallbacks
+                    all_updates.append((step.ids, step.vals))
+                    if step.payload is not None:
+                        message_modes.append(step.payload[0])
+                        self.channel.broadcast(server.server_id, step.payload)
+
+                # ---- BSP barrier: apply all updates everywhere ---------
+                # Also per-server-independent (own store, own mailbox,
+                # own counters; all_updates is read-only here).
+                executor.map(
+                    lambda server: self._apply_server_step(server, all_updates),
+                    servers,
                 )
-            if updated_count == 0:
-                converged = True
-                break
+                updated_count = sum(ids.size for ids, _ in all_updates)
+                # Per-server update sets are sorted and disjoint (each
+                # server owns disjoint target ranges): a k-way merge
+                # replaces the seed's np.unique-over-concatenation.
+                prev_updated = merge_sorted_unique(
+                    [ids for ids, _ in all_updates]
+                )
+
+                # ---- per-superstep accounting --------------------------
+                step_deltas = [
+                    _delta(server, before[server.server_id])
+                    for server in servers
+                ]
+                step_cost = cost_model.superstep_time(step_deltas)
+                # Per-superstep hit ratio: delta hits over delta lookups.
+                hits = []
+                for server in servers:
+                    if server.cache is None:
+                        continue
+                    h0, l0 = before[server.server_id][9]
+                    dl = server.cache.stats.lookups - l0
+                    dh = server.cache.stats.hits - h0
+                    if dl:
+                        hits.append(dh / dl)
+                reports.append(
+                    SuperstepReport(
+                        superstep=superstep,
+                        updated_vertices=updated_count,
+                        tiles_processed=tiles_processed,
+                        tiles_skipped=tiles_skipped,
+                        net_bytes=sum(d.net_sent for d in step_deltas),
+                        disk_read_bytes=sum(
+                            d.disk_read + d.disk_read_random
+                            for d in step_deltas
+                        ),
+                        cache_hit_ratio=float(np.mean(hits)) if hits else 1.0,
+                        message_modes=message_modes,
+                        modeled=step_cost,
+                        wall_s=time.perf_counter() - t0,
+                    )
+                )
+                if (
+                    cfg.checkpoint_every is not None
+                    and updated_count > 0
+                    and (superstep + 1) % cfg.checkpoint_every == 0
+                ):
+                    write_checkpoint(
+                        self.cluster.dfs,
+                        self.manifest.name,
+                        program.name,
+                        superstep,
+                        self._collect_values(cfg, servers, init_values),
+                        prev_updated,
+                    )
+                if updated_count == 0:
+                    converged = True
+                    break
+        finally:
+            executor.close()
 
         return RunResult(
             values=self._collect_values(cfg, servers, init_values),
             supersteps=reports,
             converged=converged,
         )
+
+    # ------------------------------------------------------------------
+    # Per-server superstep work (executor-mapped; see repro.runtime)
+    # ------------------------------------------------------------------
+    def _compute_server_step(
+        self,
+        program: VertexProgram,
+        server,
+        superstep: int,
+        prev_hashed: "HashedKeys | None",
+    ) -> "_ServerStep":
+        """One server's tile sweep: gather/apply + staged broadcast.
+
+        Touches only this server's counters / cache / disk / store plus
+        read-only shared structures, so executor threads never contend.
+        The encoded broadcast payload is returned (not delivered) — the
+        caller flushes all payloads after the join, in server-id order.
+
+        ``prev_hashed`` carries the previous superstep's updated-vertex
+        set pre-hashed for bloom probing — or ``ALL_KEYS`` when every
+        vertex updated, or ``None`` when filters are off / there is no
+        previous superstep.
+        """
+        cfg = self.config
+        store = server.state["store"]
+        changed_ids_parts: list[np.ndarray] = []
+        changed_vals_parts: list[np.ndarray] = []
+        tile_edge_counts: list[int] = []
+        tiles_processed = 0
+        tiles_skipped = 0
+        sort_fallbacks = 0
+        for tile_id, blob_name, nbytes in self._assignments[server.server_id]:
+            if (
+                superstep > 0
+                and prev_hashed is not None
+                and not self._blooms[tile_id].might_intersect(prev_hashed)
+            ):
+                tiles_skipped += 1
+                continue
+            tile = server.load_tile(blob_name, Tile.from_bytes)
+            server.counters.add_memory("scratch", nbytes)
+            ids, vals = _process_tile(program, tile, store)
+            server.counters.add_memory("scratch", -nbytes)
+            tile_edge_counts.append(tile.num_edges)
+            tiles_processed += 1
+            if ids.size:
+                changed_ids_parts.append(ids)
+                changed_vals_parts.append(vals)
+
+        # Charge compute as the LPT makespan of this server's
+        # indivisible tiles over its T workers (§III-C.3's
+        # OpenMP parallelism, honestly accounting stragglers).
+        server.counters.edges_processed += int(
+            round(
+                effective_parallel_volume(
+                    tile_edge_counts,
+                    self.cluster.spec.workers_per_server,
+                )
+            )
+        )
+
+        if changed_ids_parts:
+            ids = np.concatenate(changed_ids_parts)
+            vals = np.concatenate(changed_vals_parts)
+            # Per-tile parts cover ascending disjoint target ranges (in
+            # both assignment modes a server's tile list is ascending),
+            # so the concatenation is already sorted — the seed's
+            # per-superstep argsort was pure overhead.  The boundary
+            # check is O(#tiles); the argsort fallback is kept for the
+            # should-never-happen case and surfaced via sort_fallbacks.
+            if not _parts_ascending(changed_ids_parts):
+                sort_fallbacks += 1
+                order = np.argsort(ids)
+                ids, vals = ids[order], vals[order]
+        else:
+            ids = np.zeros(0, dtype=np.int64)
+            vals = np.zeros(0, dtype=np.float64)
+
+        # Stage this server's updated-value broadcast: dense form
+        # covers only the targets its tiles own (receivers share the
+        # static target index), sparse form ships local (index, value)
+        # pairs.
+        payload = None
+        if len(self.cluster.servers) > 1:
+            own_targets = self._server_target_ids[server.server_id]
+            # gather_values fancy-indexes into a fresh array — safe to
+            # scatter into directly (the seed's extra .copy() doubled
+            # the allocation for nothing).
+            staged = store.gather_values(own_targets)
+            local_ids = np.searchsorted(own_targets, ids)
+            staged[local_ids] = vals
+            forced = {
+                "dense": DENSE,
+                "sparse": SPARSE,
+                "hybrid": None,
+            }[cfg.comm_mode]
+            payload = encode_update(
+                staged,
+                local_ids,
+                codec_name=cfg.message_codec,
+                mode=forced,
+                threshold=cfg.sparsity_threshold,
+            )
+            if cfg.message_codec != "raw":
+                server.counters.add_compressed(cfg.message_codec, len(payload))
+        return _ServerStep(
+            ids=ids,
+            vals=vals,
+            payload=payload,
+            tiles_processed=tiles_processed,
+            tiles_skipped=tiles_skipped,
+            sort_fallbacks=sort_fallbacks,
+        )
+
+    def _apply_server_step(
+        self,
+        server,
+        all_updates: list[tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """One server's barrier work: apply own + received updates."""
+        cfg = self.config
+        store = server.state["store"]
+        own_ids, own_vals = all_updates[server.server_id]
+        store.write(own_ids, own_vals)
+        for envelope in self.channel.receive_all(server.server_id):
+            payload = decode_update(envelope.payload)
+            sender_targets = self._server_target_ids[envelope.src]
+            store.write(sender_targets[payload.ids], payload.values)
+            if cfg.message_codec != "raw":
+                server.counters.add_decompressed(
+                    cfg.message_codec, len(envelope.payload)
+                )
 
     def _collect_values(self, cfg, servers, init_values) -> np.ndarray:
         """Globally consistent value array after a barrier.
@@ -510,6 +628,27 @@ class MPE:
             if targets.size:
                 final[targets] = server.state["store"].gather_values(targets)
         return final
+
+@dataclass
+class _ServerStep:
+    """One server's staged compute-phase output (pre-barrier)."""
+
+    ids: np.ndarray
+    vals: np.ndarray
+    payload: bytes | None
+    tiles_processed: int
+    tiles_skipped: int
+    sort_fallbacks: int
+
+
+def _parts_ascending(parts: list[np.ndarray]) -> bool:
+    """Whether consecutive (internally sorted) id parts are strictly
+    ascending and disjoint — i.e. their concatenation is sorted."""
+    for prev, part in zip(parts, parts[1:]):
+        if part[0] <= prev[-1]:
+            return False
+    return True
+
 
 def _snapshot(server) -> tuple:
     """Freeze the counter fields that accumulate inside one superstep."""
@@ -579,16 +718,14 @@ def _process_tile(
     :mod:`repro.core.vertexstore`).  Returns (changed global ids, their
     new values).
     """
-    col = tile.col.astype(np.int64)
+    col = tile.col_int64
     src_values = store.gather_values(col)
     out_deg = store.gather_out_degrees(col) if program.uses_out_degree else None
     weights = tile.edge_values() if program.uses_edge_weight else None
     contributions = program.edge_message(src_values, out_deg, weights)
-    accum = segment_reduce(contributions, tile.row, program.reduce_op)
+    accum = segment_reduce(contributions, tile.row_int64, program.reduce_op)
     old = store.read_range(tile.target_lo, tile.target_hi)
-    new = program.apply(
-        accum, old, np.arange(tile.target_lo, tile.target_hi, dtype=np.int64)
-    )
+    new = program.apply(accum, old, tile.target_ids)
     changed = program.value_changed(new, old)
     local_ids = np.flatnonzero(changed)
     return (local_ids + tile.target_lo).astype(np.int64), new[local_ids]

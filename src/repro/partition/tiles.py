@@ -37,13 +37,22 @@ _HEADER = struct.Struct("<4sIqqqqB")  # magic, tile_id, lo, hi, n_edges, n_verti
 
 @dataclass
 class Tile:
-    """One partition of the adjacency matrix (targets ``[lo, hi)``)."""
+    """One partition of the adjacency matrix (targets ``[lo, hi)``).
+
+    Deserialised tiles hold *read-only zero-copy views* over the source
+    blob (:meth:`from_bytes` uses ``np.frombuffer``); directly built
+    tiles hold their own arrays.  Either way the hot-path index arrays
+    (:attr:`row_int64`, :attr:`col_int64`, :attr:`target_ids`) are
+    materialised lazily and cached on the instance, so a tile that
+    stays live across supersteps (the decoded-tile cache) pays for them
+    exactly once.
+    """
 
     tile_id: int
     target_lo: int
     target_hi: int
     num_graph_vertices: int
-    row: np.ndarray  # int64[hi - lo + 1] offsets into col
+    row: np.ndarray  # int offsets[hi - lo + 1] into col (uint32 view when deserialised)
     col: np.ndarray  # uint32[num_edges] source ids
     val: np.ndarray | None  # float64[num_edges] or None when unweighted
 
@@ -62,11 +71,35 @@ class Tile:
         """Sorted unique source ids appearing in this tile."""
         return np.unique(self.col).astype(np.int64)
 
+    @cached_property
+    def row_int64(self) -> np.ndarray:
+        """``row`` as int64 (no copy when already int64) — the dtype the
+        segment-reduce kernel consumes without per-call conversion."""
+        return np.asarray(self.row, dtype=np.int64)
+
+    @cached_property
+    def col_int64(self) -> np.ndarray:
+        """``col`` widened to int64 once, for repeated fancy gathers
+        (numpy converts index arrays to intp internally on every use;
+        caching the conversion keeps warm supersteps copy-free)."""
+        return self.col.astype(np.int64)
+
+    @cached_property
+    def target_ids(self) -> np.ndarray:
+        """Global ids of this tile's target range, int64 ascending."""
+        return np.arange(self.target_lo, self.target_hi, dtype=np.int64)
+
+    @cached_property
+    def _unit_values(self) -> np.ndarray:
+        ones = np.ones(self.num_edges, dtype=np.float64)
+        ones.setflags(write=False)
+        return ones
+
     def edge_values(self) -> np.ndarray:
-        """Edge value array (all-ones when unweighted)."""
+        """Edge value array (cached read-only all-ones when unweighted)."""
         if self.val is not None:
             return self.val
-        return np.ones(self.num_edges, dtype=np.float64)
+        return self._unit_values
 
     def nbytes(self) -> int:
         """In-memory footprint of the CSR arrays."""
@@ -103,14 +136,26 @@ class Tile:
             self.num_graph_vertices,
             1 if self.val is not None else 0,
         )
-        parts = [header, self.row.astype(np.uint32).tobytes(), self.col.tobytes()]
+        parts = [
+            header,
+            self.row.astype(np.uint32, copy=False).tobytes(),
+            self.col.tobytes(),
+        ]
         if self.val is not None:
             parts.append(self.val.astype(np.float64).tobytes())
         return b"".join(parts)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Tile":
-        """Inverse of :meth:`to_bytes`."""
+        """Inverse of :meth:`to_bytes`.
+
+        Every array is a zero-copy read-only ``np.frombuffer`` view
+        over ``data`` — deserialisation allocates nothing per edge, so
+        a decoded-cache-resident tile costs no memory beyond the blob
+        the edge cache already charges.  The views can never alias
+        engine state: they reference the immutable blob, not whatever
+        arrays the serialising tile held.
+        """
         if len(data) < _HEADER.size:
             raise ValueError("truncated tile blob")
         magic, tile_id, lo, hi, n_edges, n_vertices, weighted = _HEADER.unpack_from(
@@ -120,9 +165,7 @@ class Tile:
             raise ValueError("bad tile magic")
         offset = _HEADER.size
         n_rows = hi - lo + 1
-        row = np.frombuffer(data, dtype=np.uint32, count=n_rows, offset=offset).astype(
-            np.int64
-        )
+        row = np.frombuffer(data, dtype=np.uint32, count=n_rows, offset=offset)
         offset += n_rows * 4
         col = np.frombuffer(data, dtype=np.uint32, count=n_edges, offset=offset)
         offset += n_edges * 4

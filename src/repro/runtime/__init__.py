@@ -1,0 +1,23 @@
+"""Runtime substrate: how the simulated cluster executes on real hardware.
+
+The cost model decides what a superstep *would* take on the paper's
+testbed; this package decides how fast the simulation itself runs on the
+host — serial (reference) or thread-parallel across simulated servers.
+Metering and results are executor-independent by construction.
+"""
+
+from repro.runtime.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    default_num_threads,
+    make_executor,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "default_num_threads",
+]

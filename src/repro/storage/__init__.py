@@ -18,7 +18,13 @@ from repro.storage.codecs import (
     get_codec,
 )
 from repro.storage.disk import LocalDisk
-from repro.storage.cache import CacheStats, EdgeCache, select_cache_mode
+from repro.storage.cache import (
+    CacheStats,
+    DecodedCacheStats,
+    DecodedTileCache,
+    EdgeCache,
+    select_cache_mode,
+)
 
 __all__ = [
     "Codec",
@@ -31,5 +37,7 @@ __all__ = [
     "LocalDisk",
     "EdgeCache",
     "CacheStats",
+    "DecodedTileCache",
+    "DecodedCacheStats",
     "select_cache_mode",
 ]

@@ -136,6 +136,24 @@ class EdgeCache:
         self.stats.bytes_decompressed += len(data)
         return data
 
+    def touch(self, key: str, uncompressed_len: int) -> bool:
+        """Metering-equivalent hit for callers that already hold the
+        decoded object (the decoded-tile cache).
+
+        Updates recency and the hit / decompressed-bytes stats exactly
+        as :meth:`get` would — ``uncompressed_len`` is what the codec
+        would have produced — without running the codec.  Returns
+        ``False`` with stats untouched when the key is absent; the
+        caller must then take the real lookup path so miss accounting
+        happens there.
+        """
+        if key not in self._entries:
+            return False
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self.stats.bytes_decompressed += int(uncompressed_len)
+        return True
+
     def put(self, key: str, data: bytes) -> bool:
         """Insert an uncompressed blob; returns False if not admitted.
 
@@ -187,5 +205,105 @@ class EdgeCache:
         return (
             f"EdgeCache(mode={self.mode}, used={self._used}/"
             f"{self.capacity_bytes}B, entries={len(self._entries)}, "
+            f"hit_ratio={self.stats.hit_ratio:.2f})"
+        )
+
+
+@dataclass
+class DecodedCacheStats:
+    """Counters for one decoded-tile cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total get() calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served decoded (1.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 1.0
+
+
+@dataclass
+class DecodedTileCache:
+    """Per-server LRU of *live decoded objects* (parsed ``Tile``\\ s).
+
+    The edge cache (§IV-B) holds serialised blobs; the seed engine
+    re-ran ``Tile.from_bytes`` on every blob every superstep — work the
+    paper's MPE never does, because a worker that holds a tile in
+    memory simply reuses it.  This cache closes that gap on the host:
+    it maps blob name → the decoded object plus the blob's uncompressed
+    length, so a cache-resident tile is parsed once per run.
+
+    Memory accounting: decoded tiles are zero-copy ``np.frombuffer``
+    views over the blob bytes already charged to the edge cache
+    (``mem_cache``), so the modeled footprint is unchanged — matching
+    the real system, which holds each tile's arrays exactly once.  The
+    lazily-materialised ``int64`` index shadows (`Tile.col_int64` etc.)
+    are a numpy-host artifact with no counterpart in the paper's
+    ``uint32``-indexed C++ kernels and are deliberately excluded from
+    the modeled RAM; ``max_entries`` bounds their host-side footprint.
+
+    Metering safety: this cache never replaces the §IV-B lookup — the
+    server still drives the edge cache / disk metering for every access
+    (:meth:`repro.cluster.server.Server.load_tile`), so hit ratios,
+    disk traffic, and decompression charges are byte-identical with the
+    decoded cache on or off.
+    """
+
+    max_entries: int | None = None
+    stats: DecodedCacheStats = field(default_factory=DecodedCacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self._entries: OrderedDict[str, tuple[object, int]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> tuple[object, int] | None:
+        """(decoded object, uncompressed blob length) on hit, else None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, obj: object, uncompressed_len: int) -> None:
+        """Insert a decoded object, evicting LRU entries past capacity."""
+        if key in self._entries:
+            self._entries.pop(key)
+        self._entries[key] = (obj, int(uncompressed_len))
+        self.stats.insertions += 1
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, key: str) -> None:
+        """Drop one entry (blob rewritten → decoded views are stale)."""
+        if self._entries.pop(key, None) is not None:
+            self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        """Drop every entry (stats retained)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        cap = "∞" if self.max_entries is None else str(self.max_entries)
+        return (
+            f"DecodedTileCache(entries={len(self._entries)}/{cap}, "
             f"hit_ratio={self.stats.hit_ratio:.2f})"
         )

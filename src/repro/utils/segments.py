@@ -83,6 +83,51 @@ def segment_reduce(
     return out
 
 
+def is_sorted(values: np.ndarray) -> bool:
+    """True when ``values`` is non-decreasing (vacuously for size < 2)."""
+    values = np.asarray(values)
+    if values.size < 2:
+        return True
+    return bool(np.all(values[1:] >= values[:-1]))
+
+
+def _merge_two_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Linear merge of two sorted arrays (``np.insert`` runs in C)."""
+    if a.size < b.size:
+        a, b = b, a
+    return np.insert(a, np.searchsorted(a, b), b)
+
+
+def merge_sorted_unique(parts: "list[np.ndarray]") -> np.ndarray:
+    """Sorted-unique union of already-sorted int arrays.
+
+    Equivalent to ``np.unique(np.concatenate(parts))`` but exploits the
+    inputs' sortedness: a pairwise merge tree costs O(n log k) over k
+    parts instead of a full O(n log n) re-sort — the BSP barrier calls
+    this every superstep to union the per-server (sorted, disjoint)
+    updated-vertex sets.
+    """
+    arrays = [np.asarray(p, dtype=np.int64) for p in parts]
+    arrays = [a for a in arrays if a.size]
+    if not arrays:
+        return np.zeros(0, dtype=np.int64)
+    while len(arrays) > 1:
+        merged = [
+            _merge_two_sorted(arrays[i], arrays[i + 1])
+            for i in range(0, len(arrays) - 1, 2)
+        ]
+        if len(arrays) % 2:
+            merged.append(arrays[-1])
+        arrays = merged
+    out = arrays[0]
+    if out.size < 2:
+        return out.copy()
+    keep = np.empty(out.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(out[1:], out[:-1], out=keep[1:])
+    return out[keep]
+
+
 def segment_lengths(indptr: np.ndarray) -> np.ndarray:
     """Row lengths from a CSR row pointer."""
     return np.diff(np.asarray(indptr, dtype=np.int64))

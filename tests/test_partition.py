@@ -330,3 +330,78 @@ class TestStreaming:
     def test_invalid(self):
         with pytest.raises(ValueError):
             build_streaming_partitions(fig4_graph(), 0)
+
+
+class TestTileViews:
+    """from_bytes gives zero-copy read-only views; cached index shadows
+    never alias engine state (the decoded-cache satellite)."""
+
+    def _weighted_tile(self):
+        g = chung_lu_graph(60, 400, seed=5, weighted=True)
+        return build_tiles(g, avg_tile_edges=g.num_edges).tiles[0]
+
+    def test_views_are_zero_copy_and_read_only(self):
+        tile = self._weighted_tile()
+        blob = tile.to_bytes()
+        parsed = Tile.from_bytes(blob)
+        for arr in (parsed.row, parsed.col, parsed.val):
+            assert arr.base is not None  # a view, not a copy
+            assert not arr.flags.writeable
+        with pytest.raises(ValueError):
+            parsed.col[0] = 0
+
+    def test_views_never_alias_source_tile(self):
+        tile = self._weighted_tile()
+        parsed = Tile.from_bytes(tile.to_bytes())
+        before = parsed.col.copy()
+        tile.col[:] = 0  # mutate the original; the parsed views must hold
+        tile.val[:] = -1.0
+        assert np.array_equal(parsed.col, before)
+        assert (parsed.val != -1.0).all()
+
+    def test_cached_index_shadows(self):
+        tile = Tile.from_bytes(self._weighted_tile().to_bytes())
+        col64 = tile.col_int64
+        assert col64.dtype == np.int64
+        assert np.array_equal(col64, tile.col)
+        assert tile.col_int64 is col64  # cached, computed once
+        row64 = tile.row_int64
+        assert row64.dtype == np.int64
+        assert np.array_equal(row64, tile.row)
+        ids = tile.target_ids
+        assert ids.tolist() == list(range(tile.target_lo, tile.target_hi))
+        assert tile.target_ids is ids
+
+    def test_unweighted_edge_values_cached_and_read_only(self):
+        g = chung_lu_graph(40, 200, seed=9, weighted=False)
+        tile = Tile.from_bytes(
+            build_tiles(g, avg_tile_edges=g.num_edges).tiles[0].to_bytes()
+        )
+        assert tile.val is None
+        ones = tile.edge_values()
+        assert ones.size == tile.num_edges and (ones == 1.0).all()
+        assert tile.edge_values() is ones
+        with pytest.raises(ValueError):
+            ones[0] = 2.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_vertices=st.integers(2, 80),
+        num_edges=st.integers(1, 300),
+        weighted=st.booleans(),
+        seed=st.integers(0, 1000),
+    )
+    def test_roundtrip_views_equal_original(
+        self, num_vertices, num_edges, weighted, seed
+    ):
+        g = erdos_renyi_graph(num_vertices, num_edges, seed=seed, weighted=weighted)
+        for tile in build_tiles(g, avg_tile_edges=max(1, g.num_edges // 3)).tiles:
+            parsed = Tile.from_bytes(tile.to_bytes())
+            assert np.array_equal(parsed.row, tile.row)
+            assert np.array_equal(parsed.col, tile.col)
+            if weighted:
+                assert np.array_equal(parsed.val, tile.val)
+            else:
+                assert parsed.val is None
+            # A second serialise from the parsed views is byte-identical.
+            assert parsed.to_bytes() == tile.to_bytes()

@@ -1,0 +1,248 @@
+"""Tests for the superstep runtime: executors + parallel determinism.
+
+The parallel executor's whole contract is "bitwise identical to serial,
+just faster on the host": same vertex values, same counters, same
+modeled costs, same message modes.  These tests pin that contract for
+all three reference apps, plus the executor primitives themselves.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_graphh
+from repro.apps import PageRank, SSSP, WCC
+from repro.core import MPEConfig
+from repro.graph import chung_lu_graph
+from repro.runtime import (
+    ParallelExecutor,
+    SerialExecutor,
+    default_num_threads,
+    make_executor,
+)
+
+
+class TestExecutorPrimitives:
+    def test_serial_preserves_order(self):
+        ex = SerialExecutor()
+        assert ex.map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+
+    def test_parallel_preserves_order(self):
+        # Reverse-staggered sleeps: later items finish first unless the
+        # executor re-orders results back to input order.
+        def slow_identity(x):
+            time.sleep(0.002 * (5 - x))
+            return x
+
+        with ParallelExecutor(num_threads=4) as ex:
+            assert ex.map(slow_identity, list(range(5))) == [0, 1, 2, 3, 4]
+
+    def test_parallel_actually_uses_threads(self):
+        seen = set()
+
+        def record(_):
+            seen.add(threading.get_ident())
+            time.sleep(0.01)
+
+        with ParallelExecutor(num_threads=4) as ex:
+            ex.map(record, range(4))
+        assert len(seen) > 1
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            if x == 2:
+                raise RuntimeError("tile exploded")
+            return x
+
+        with pytest.raises(RuntimeError, match="tile exploded"):
+            SerialExecutor().map(boom, [1, 2, 3])
+        with ParallelExecutor(num_threads=2) as ex:
+            with pytest.raises(RuntimeError, match="tile exploded"):
+                ex.map(boom, [1, 2, 3])
+
+    def test_single_item_shortcut(self):
+        with ParallelExecutor(num_threads=2) as ex:
+            assert ex.map(lambda x: x + 1, [41]) == [42]
+            assert ex.map(lambda x: x, []) == []
+
+    def test_close_is_idempotent_and_final(self):
+        ex = ParallelExecutor(num_threads=2)
+        ex.close()
+        ex.close()
+        with pytest.raises(RuntimeError):
+            ex.map(lambda x: x, [1, 2])
+
+    def test_make_executor(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        par = make_executor("parallel", 3)
+        assert isinstance(par, ParallelExecutor) and par.num_threads == 3
+        par.close()
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("gpu")
+        with pytest.raises(ValueError, match="only applies"):
+            make_executor("serial", 8)
+        with pytest.raises(ValueError):
+            ParallelExecutor(num_threads=0)
+
+    def test_default_num_threads(self):
+        assert default_num_threads() >= 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MPEConfig(executor="fiber")
+        with pytest.raises(ValueError):
+            MPEConfig(num_threads=0)
+        with pytest.raises(ValueError):
+            MPEConfig(decoded_cache_entries=0)
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return chung_lu_graph(250, 2500, seed=91, name="runtime-g")
+
+
+def _run(graph, program, cfg, **kw):
+    result, cluster = run_graphh(graph, program, 3, config=cfg, **kw)
+    telemetry = {
+        "counters": [s.counters.snapshot() for s in cluster.servers],
+        "modeled": [s.modeled for s in result.supersteps],
+        "modes": [s.message_modes for s in result.supersteps],
+        "net": [s.net_bytes for s in result.supersteps],
+        "disk": [s.disk_read_bytes for s in result.supersteps],
+        "skipped": [s.tiles_skipped for s in result.supersteps],
+    }
+    cluster.close()
+    return result, telemetry
+
+
+def _assert_identical(a, b):
+    ra, ta = a
+    rb, tb = b
+    assert np.array_equal(ra.values, rb.values)
+    assert len(ra.supersteps) == len(rb.supersteps)
+    for key in ("modeled", "modes", "net", "disk", "skipped"):
+        assert ta[key] == tb[key], key
+    assert ta["counters"] == tb["counters"]
+
+
+class TestParallelBitwiseIdentity:
+    """Parallel vs serial: values AND all telemetry must match exactly."""
+
+    @pytest.mark.parametrize(
+        "make_program",
+        [
+            lambda: PageRank(),
+            lambda: SSSP(source=1),
+        ],
+        ids=["pagerank", "sssp"],
+    )
+    def test_directed_apps(self, skewed, make_program):
+        serial = _run(
+            skewed, make_program(), MPEConfig(executor="serial"), max_supersteps=12
+        )
+        parallel = _run(
+            skewed,
+            make_program(),
+            MPEConfig(executor="parallel", num_threads=4),
+            max_supersteps=12,
+        )
+        _assert_identical(serial, parallel)
+
+    def test_wcc(self, skewed):
+        und = skewed.to_undirected_edges()
+        serial = _run(und, WCC(), MPEConfig(executor="serial"), max_supersteps=12)
+        parallel = _run(
+            und, WCC(), MPEConfig(executor="parallel"), max_supersteps=12
+        )
+        _assert_identical(serial, parallel)
+
+    def test_parallel_with_balanced_assignment_and_od(self, skewed):
+        cfg_s = MPEConfig(
+            executor="serial", tile_assignment="balanced", replication_policy="od"
+        )
+        cfg_p = MPEConfig(
+            executor="parallel", tile_assignment="balanced", replication_policy="od"
+        )
+        _assert_identical(
+            _run(skewed, PageRank(), cfg_s, max_supersteps=10),
+            _run(skewed, PageRank(), cfg_p, max_supersteps=10),
+        )
+
+
+class TestDecodedCacheMeteringInvariance:
+    """The decoded-tile cache is a host-speed artifact: switching it off
+    must not move a single metered byte."""
+
+    @pytest.mark.parametrize("cache_mode", [None, 3, 1])
+    def test_decoded_cache_does_not_perturb_metering(self, skewed, cache_mode):
+        on = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(decoded_cache=True, cache_mode=cache_mode),
+            max_supersteps=10,
+        )
+        off = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(decoded_cache=False, cache_mode=cache_mode),
+            max_supersteps=10,
+        )
+        _assert_identical(on, off)
+
+    def test_decoded_cache_with_tiny_edge_cache(self, skewed):
+        """Thrashing edge cache: decoded hits must still do the real
+        blob load for its disk-side metering."""
+        base = dict(cache_capacity_bytes=4096, cache_mode=1)
+        on = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(decoded_cache=True, **base),
+            max_supersteps=8,
+        )
+        off = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(decoded_cache=False, **base),
+            max_supersteps=8,
+        )
+        _assert_identical(on, off)
+
+    def test_decoded_cache_capped_entries(self, skewed):
+        capped = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(decoded_cache=True, decoded_cache_entries=2),
+            max_supersteps=8,
+        )
+        off = _run(
+            skewed, PageRank(), MPEConfig(decoded_cache=False), max_supersteps=8
+        )
+        _assert_identical(capped, off)
+
+
+class TestSortSkip:
+    """MPE.run must never need the argsort fallback: per-tile changed-id
+    parts arrive in ascending disjoint target ranges in both assignment
+    modes (the redundant-argsort satellite)."""
+
+    @pytest.mark.parametrize("assignment", ["round_robin", "balanced"])
+    def test_no_sort_fallbacks(self, skewed, assignment):
+        from repro.cluster import Cluster, ClusterSpec
+        from repro.core import MPE, SPE
+
+        cluster = Cluster(ClusterSpec(num_servers=3))
+        spe = SPE(cluster.dfs)
+        manifest = spe.preprocess(
+            skewed, max(1, skewed.num_edges // 9), name=skewed.name
+        )
+        mpe = MPE(
+            cluster,
+            manifest,
+            MPEConfig(tile_assignment=assignment, max_supersteps=10),
+        )
+        result = mpe.run(PageRank())
+        assert mpe.sort_fallbacks == 0
+        assert len(result.supersteps) > 1
+        cluster.close()

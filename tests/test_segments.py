@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.utils.segments import expand_indptr, segment_lengths, segment_reduce
+from repro.utils.segments import (
+    expand_indptr,
+    is_sorted,
+    merge_sorted_unique,
+    segment_lengths,
+    segment_reduce,
+)
 
 
 class TestSegmentReduce:
@@ -96,3 +102,50 @@ class TestHelpers:
 
     def test_expand_empty(self):
         assert expand_indptr(np.array([0])).size == 0
+
+
+class TestSortedMerge:
+    """The k-way merge replacing np.unique over concatenation in the
+    BSP barrier (per-server update sets are sorted and disjoint)."""
+
+    def test_is_sorted(self):
+        assert is_sorted(np.array([], dtype=np.int64))
+        assert is_sorted(np.array([7]))
+        assert is_sorted(np.array([1, 1, 2, 9]))
+        assert not is_sorted(np.array([3, 1]))
+
+    def test_merge_basic(self):
+        out = merge_sorted_unique(
+            [np.array([1, 4, 9]), np.array([2, 4]), np.array([0, 9, 10])]
+        )
+        assert out.tolist() == [0, 1, 2, 4, 9, 10]
+        assert out.dtype == np.int64
+
+    def test_merge_empty_inputs(self):
+        assert merge_sorted_unique([]).size == 0
+        assert merge_sorted_unique([np.array([], dtype=np.int64)]).size == 0
+        assert merge_sorted_unique(
+            [np.array([], dtype=np.int64), np.array([5])]
+        ).tolist() == [5]
+
+    def test_single_part_copied(self):
+        part = np.array([1, 2, 3])
+        out = merge_sorted_unique([part])
+        out[0] = 99
+        assert part[0] == 1  # caller's array must not be aliased
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 500), max_size=40).map(sorted),
+            max_size=7,
+        )
+    )
+    def test_matches_np_unique(self, parts):
+        arrays = [np.array(p, dtype=np.int64) for p in parts]
+        expected = (
+            np.unique(np.concatenate(arrays))
+            if any(a.size for a in arrays)
+            else np.zeros(0, dtype=np.int64)
+        )
+        assert merge_sorted_unique(arrays).tolist() == expected.tolist()

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.utils import BloomFilter
+from repro.utils import ALL_KEYS, BloomFilter, hash_keys
 
 
 class TestBloomBasics:
@@ -68,6 +68,52 @@ class TestBloomBasics:
         assert "BloomFilter" in repr(BloomFilter(10))
 
 
+class TestHashedKeys:
+    """The per-superstep hash-sharing fast path must be decision-
+    identical to hashing inside every probe."""
+
+    def test_hashed_matches_raw(self):
+        bf = BloomFilter(500, false_positive_rate=0.01)
+        bf.add_many(np.arange(0, 1000, 7))
+        for probe in (
+            np.array([3, 14, 700]),
+            np.arange(1000, 1100),
+            np.array([10**9]),
+        ):
+            assert bf.might_intersect(hash_keys(probe)) == bf.might_intersect(
+                probe
+            )
+
+    def test_hashed_reusable_across_filters(self):
+        hashed = hash_keys(np.arange(50))
+        hit = BloomFilter(100)
+        hit.add(25)
+        miss = BloomFilter(100)
+        miss.add(10**8)
+        assert hit.might_intersect(hashed)
+        assert not miss.might_intersect(hashed)
+
+    def test_hashed_arrays_read_only(self):
+        hashed = hash_keys(np.arange(10))
+        with pytest.raises(ValueError):
+            hashed.h1[0] = 0
+
+    def test_empty_batch(self):
+        bf = BloomFilter(10)
+        bf.add(1)
+        assert not bf.might_intersect(hash_keys(np.array([], dtype=np.int64)))
+
+    def test_all_keys_sentinel(self):
+        empty = BloomFilter(10)
+        assert not empty.might_intersect(ALL_KEYS)
+        bf = BloomFilter(10)
+        bf.add(3)
+        # A superset of every inserted key must intersect: the filter
+        # answers from its insert count, same as probing everything.
+        assert bf.might_intersect(ALL_KEYS)
+        assert bf.might_intersect(np.array([3]))
+
+
 @settings(max_examples=50)
 @given(st.lists(st.integers(0, 2**62), min_size=1, max_size=300))
 def test_no_false_negatives(keys):
@@ -94,3 +140,20 @@ def test_intersect_superset_of_true_intersection(inserted, probed):
     bf.add_many(np.array(inserted, dtype=np.int64))
     if set(inserted) & set(probed):
         assert bf.might_intersect(np.array(probed, dtype=np.int64))
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.integers(0, 50_000), min_size=1, max_size=200),
+    st.lists(st.integers(0, 50_000), min_size=1, max_size=4000),
+)
+def test_blocked_probe_equals_full_probe(inserted, probed):
+    """Early-exit block probing must agree with the one-shot answer
+    (``any`` over blocks == ``any`` over the full batch), including
+    batches larger than the probe block size."""
+    bf = BloomFilter(len(inserted))
+    bf.add_many(np.array(inserted, dtype=np.int64))
+    arr = np.array(probed, dtype=np.int64)
+    expected = bool(bf.contains_many(arr).any())
+    assert bf.might_intersect(arr) == expected
+    assert bf.might_intersect(hash_keys(arr)) == expected
