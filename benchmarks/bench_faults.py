@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Recovery-overhead benchmark: chaos PageRank vs checkpoint interval k.
+
+The paper's engine restarts failed jobs from scratch; the reproduction's
+``repro.faults`` subsystem recovers from the newest DFS checkpoint
+instead.  This bench quantifies the trade the checkpoint interval k
+makes: small k bounds re-executed work (at most k supersteps replay
+after a crash) but writes snapshots often; large k writes rarely but
+replays more.
+
+For each k in {1, 2, 4, 8} it runs PageRank on the uk2007-s analog with
+a server crash injected at a fixed superstep, supervised with
+checkpoint-every-k, and records:
+
+* re-executed supersteps (bounded by k, or a from-scratch replay when
+  the crash lands before the first snapshot),
+* recovery DFS reads (tile respawn + checkpoint restore bytes),
+* checkpoint bytes written, and
+* modeled job seconds vs the fault-free no-checkpoint baseline (the
+  cumulative metered volumes through the cost model, so aborted-attempt
+  work, retry backoff, and restart delays are all priced in).
+
+Vertex values are asserted bitwise identical to the fault-free run for
+every k before anything is written — recovery that changes the answer
+is not recovery.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py           # bench tier
+    PYTHONPATH=src python benchmarks/bench_faults.py --smoke   # CI smoke
+
+Emits ``BENCH_faults.json`` at the repository root by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DATASET = "uk2007-s"
+NUM_SERVERS = 4
+CRASH_SERVER = 1
+INTERVALS = (1, 2, 4, 8)
+
+
+def _build(graph, checkpoint_every, max_supersteps):
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.core import MPE, MPEConfig, SPE
+
+    cluster = Cluster(ClusterSpec(num_servers=NUM_SERVERS))
+    spe = SPE(cluster.dfs)
+    tile_edges = max(1, graph.num_edges // (12 * NUM_SERVERS))
+    manifest = spe.preprocess(graph, tile_edges, name=graph.name)
+    mpe = MPE(
+        cluster,
+        manifest,
+        MPEConfig(
+            checkpoint_every=checkpoint_every, max_supersteps=max_supersteps
+        ),
+    )
+    return mpe, cluster
+
+
+def _modeled_job_s(cluster) -> float:
+    """Cumulative metered volumes → modeled seconds (BSP aggregate)."""
+    from repro.metrics import CostModel
+
+    model = CostModel(cluster.spec)
+    return model.superstep_time([s.counters for s in cluster.servers]).total_s
+
+
+def _checkpoint_bytes(cluster, dataset: str) -> tuple[int, int]:
+    paths = cluster.dfs.list_files(f"{dataset}/ckpt-")
+    return len(paths), sum(cluster.dfs.size(p) for p in paths)
+
+
+def run_baseline(graph, max_supersteps):
+    from repro.apps import PageRank
+
+    mpe, cluster = _build(graph, None, max_supersteps)
+    result = mpe.run(PageRank())
+    modeled = _modeled_job_s(cluster)
+    values = result.values.copy()
+    supersteps = result.num_supersteps
+    cluster.close()
+    return values, supersteps, modeled
+
+
+def run_chaos(graph, k, crash_at, max_supersteps):
+    from repro.apps import PageRank
+    from repro.faults import CRASH, FaultEvent, FaultSchedule, Supervisor
+
+    mpe, cluster = _build(graph, k, max_supersteps)
+    schedule = FaultSchedule(
+        [FaultEvent(CRASH, superstep=crash_at, server=CRASH_SERVER)]
+    )
+    result, report = Supervisor(mpe, schedule=schedule).run(PageRank())
+    row = {
+        "checkpoint_every": k,
+        "restarts": report.restarts,
+        "reexecuted_supersteps": report.reexecuted_supersteps,
+        "resume_superstep": report.records[0].resume_superstep,
+        "recovery_read_bytes": report.recovery_read_bytes,
+        "aborted_attempt_edges": report.aborted_attempt_edges,
+        "total_backoff_s": report.total_backoff_s,
+        "modeled_job_s": _modeled_job_s(cluster),
+        "converged": report.converged,
+    }
+    files, nbytes = _checkpoint_bytes(cluster, graph.name)
+    row["checkpoint_files"] = files
+    row["checkpoint_bytes"] = nbytes
+    values = result.values.copy()
+    cluster.close()
+    return values, row
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tier", default="bench", choices=["test", "bench"])
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_faults.json"), help="output JSON"
+    )
+    parser.add_argument(
+        "--crash-at", type=int, default=5, metavar="STEP",
+        help="superstep the injected crash fires in",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast run for CI: test tier, crash at superstep 2",
+    )
+    args = parser.parse_args()
+
+    from repro.graph import load_dataset
+
+    tier = "test" if args.smoke else args.tier
+    crash_at = 2 if args.smoke else args.crash_at
+    intervals = (1, 2) if args.smoke else INTERVALS
+    max_supersteps = 60
+
+    graph = load_dataset(DATASET, tier)
+    baseline_values, supersteps, baseline_modeled = run_baseline(
+        graph, max_supersteps
+    )
+    if crash_at >= supersteps:
+        raise SystemExit(
+            f"--crash-at {crash_at} is past convergence ({supersteps} "
+            "supersteps); pick an earlier superstep"
+        )
+    print(
+        f"baseline: {supersteps} supersteps, "
+        f"modeled {baseline_modeled:.3f}s (no checkpoints, no faults)"
+    )
+
+    report = {
+        "benchmark": "faults",
+        "dataset": DATASET,
+        "tier": tier,
+        "program": "pagerank",
+        "num_servers": NUM_SERVERS,
+        "crash_at": crash_at,
+        "crash_server": CRASH_SERVER,
+        "baseline": {
+            "supersteps": supersteps,
+            "modeled_job_s": baseline_modeled,
+        },
+        "host": {"cpu_count": os.cpu_count()},
+        "generated_unix": time.time(),
+        "results": [],
+    }
+
+    for k in intervals:
+        values, row = run_chaos(graph, k, crash_at, max_supersteps)
+        if not np.array_equal(values, baseline_values):
+            raise SystemExit(
+                f"values diverged from fault-free run at k={k} — the "
+                "recovery invariant is broken"
+            )
+        row["recovery_overhead_s"] = row["modeled_job_s"] - baseline_modeled
+        row["recovery_overhead_pct"] = (
+            100.0 * row["recovery_overhead_s"] / baseline_modeled
+            if baseline_modeled
+            else 0.0
+        )
+        report["results"].append(row)
+        print(
+            f"k={k:<2} reexec={row['reexecuted_supersteps']:<2} "
+            f"resume@{row['resume_superstep']:<2} "
+            f"recovery={row['recovery_read_bytes']}B "
+            f"ckpt={row['checkpoint_files']}x ({row['checkpoint_bytes']}B) "
+            f"overhead={row['recovery_overhead_s']:.3f}s "
+            f"({row['recovery_overhead_pct']:.1f}%)"
+        )
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,12 +24,10 @@ from repro.analysis.tables import render_series, render_table
 from repro.apps import SSSP, PageRank, VertexProgram
 from repro.baselines import SYSTEM_PRESETS, make_engine
 from repro.cluster import Cluster, ClusterSpec, PAPER_TESTBED
-from repro.comm.messages import DENSE, SPARSE
 from repro.core import MPE, MPEConfig, SPE, RunResult
 from repro.graph import DATASETS, compute_stats, load_dataset
 from repro.graph.datasets import tier_divisor
 from repro.metrics import (
-    CostModel,
     TABLE3,
     expected_memory_aa,
     expected_memory_od,
@@ -376,7 +374,6 @@ def exp_table3_costs(tier: str = "test") -> ExperimentResult:
         result, cluster = run_system(
             name, graph, PageRank(), num_servers=9, max_supersteps=4
         )
-        agg = cluster.aggregate_counters()
         formulas = TABLE3[name]
         measured_net = result.supersteps[1].net_bytes if len(result.supersteps) > 1 else 0
         predicted_net = formulas.network(params)
@@ -628,7 +625,6 @@ def exp_fig6_replication(tier: str = "test") -> ExperimentResult:
 def exp_fig7_cache_modes(tier: str = "test", supersteps: int = 4) -> ExperimentResult:
     """Fig 7: execution time + hit ratio per cache mode, 3 vs 9 servers."""
     graph = load_dataset("eu2015-s", tier)
-    divisor = tier_divisor(tier)
     # Capacity calibrated to the testbed's *regime* (the paper gets it
     # from 128GB/server): at 9 servers even raw tiles fit per server;
     # at 3 servers only the zlib-compressed tiles fit.  Our analogs

@@ -16,7 +16,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.tables import render_table
-from repro.apps.base import VertexProgram
 from repro.apps.reference import reference_solution
 from repro.baselines import (
     ChaosEngine,

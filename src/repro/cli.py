@@ -51,6 +51,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--top", type=int, default=10, help="print the top-K vertices"
     )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="snapshot values into DFS every K supersteps",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the newest DFS checkpoint (use with --state-dir)",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        help="persistent cluster root: keeps tiles + checkpoints across "
+        "invocations so --resume can pick up where a run stopped",
+    )
 
 
 def _load(path: str) -> Graph:
@@ -111,13 +129,27 @@ def cmd_stats(args) -> int:
 
 
 def _run(graph: Graph, program, args):
-    with GraphH(num_servers=args.servers, config=MPEConfig()) as gh:
-        gh.load_graph(graph, avg_tile_edges=args.tile_edges)
-        result = gh.run(program)
+    config = MPEConfig(checkpoint_every=args.checkpoint_every)
+    with GraphH(
+        num_servers=args.servers, config=config, root=args.state_dir
+    ) as gh:
+        gh.load_graph(
+            graph,
+            avg_tile_edges=args.tile_edges,
+            reuse=args.state_dir is not None,
+        )
+        result = gh.run(program, resume=args.resume)
         print(
             f"{program.name}: {result.num_supersteps} supersteps, "
             f"converged={result.converged}"
         )
+        if result.supersteps and result.supersteps[0].superstep > 0:
+            print(
+                f"resumed from checkpoint at superstep "
+                f"{result.supersteps[0].superstep - 1}"
+            )
+        if args.state_dir:
+            gh.cluster.dfs.save_namespace()
         return result.values
 
 
@@ -164,9 +196,18 @@ def cmd_ppr(args) -> int:
 
 def cmd_wcc(args) -> int:
     graph = _load(args.path)
-    with GraphH(num_servers=args.servers) as gh:
-        gh.load_graph(graph, avg_tile_edges=args.tile_edges)
-        labels = gh.wcc()
+    config = MPEConfig(checkpoint_every=args.checkpoint_every)
+    with GraphH(
+        num_servers=args.servers, config=config, root=args.state_dir
+    ) as gh:
+        gh.load_graph(
+            graph,
+            avg_tile_edges=args.tile_edges,
+            reuse=args.state_dir is not None,
+        )
+        labels = gh.wcc(resume=args.resume)
+        if args.state_dir:
+            gh.cluster.dfs.save_namespace()
     components, sizes = np.unique(labels, return_counts=True)
     print(f"{components.size} weakly connected components")
     order = np.argsort(sizes)[::-1]
@@ -177,8 +218,134 @@ def cmd_wcc(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run an algorithm under an injected fault schedule, supervised.
+
+    Builds the schedule from the explicit ``--crash-at`` /
+    ``--straggler-at`` / ``--drop-at`` / ``--disk-error-at`` events
+    plus (when any ``--*-rate`` is nonzero) a seeded random
+    :class:`repro.faults.FaultPlan`, then runs the program under a
+    :class:`repro.faults.Supervisor` and prints the recovery report.
+    ``--verify`` re-runs fault-free and asserts bitwise-identical
+    values (exit code 1 on mismatch).
+    """
+    from repro.apps import WCC
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.core import MPE, SPE
+    from repro.faults import (
+        CRASH,
+        DISK_ERROR,
+        MSG_DROP,
+        STRAGGLER,
+        FaultEvent,
+        FaultPlan,
+        FaultSchedule,
+        RecoveryPolicy,
+        Supervisor,
+    )
+
+    graph = _load(args.path)
+    if args.algorithm == "pagerank":
+        program = PageRank(damping=args.damping)
+    elif args.algorithm == "sssp":
+        program = SSSP(source=args.source)
+    else:
+        graph = graph.to_undirected_edges()
+        program = WCC()
+
+    events = []
+    if args.crash_at is not None:
+        events.append(
+            FaultEvent(CRASH, superstep=args.crash_at, server=args.crash_server)
+        )
+    if args.straggler_at is not None:
+        events.append(
+            FaultEvent(
+                STRAGGLER,
+                superstep=args.straggler_at,
+                server=args.straggler_server,
+                slow_factor=args.straggler_factor,
+            )
+        )
+    if args.drop_at is not None:
+        events.append(
+            FaultEvent(MSG_DROP, superstep=args.drop_at, server=args.drop_src)
+        )
+    if args.disk_error_at is not None:
+        events.append(
+            FaultEvent(
+                DISK_ERROR, superstep=args.disk_error_at, retries=args.retries
+            )
+        )
+    plan = FaultPlan(
+        seed=args.seed,
+        crash_rate=args.crash_rate,
+        straggler_rate=args.straggler_rate,
+        drop_rate=args.drop_rate,
+    )
+    events.extend(plan.materialize(args.servers, args.max_supersteps))
+    schedule = FaultSchedule(events)
+    print(f"fault schedule ({len(schedule)} events):")
+    for line in schedule.describe():
+        print(f"  {line}")
+
+    def _build(cluster):
+        spe = SPE(cluster.dfs)
+        tile_edges = args.tile_edges or max(
+            1, graph.num_edges // (48 * args.servers)
+        )
+        manifest = spe.preprocess(graph, tile_edges, name=graph.name)
+        return MPE(
+            cluster,
+            manifest,
+            MPEConfig(
+                checkpoint_every=args.checkpoint_every,
+                executor=args.executor,
+                max_supersteps=args.max_supersteps,
+            ),
+        )
+
+    with Cluster(ClusterSpec(num_servers=args.servers)) as cluster:
+        supervisor = Supervisor(
+            _build(cluster),
+            schedule=schedule,
+            policy=RecoveryPolicy(max_restarts=args.max_restarts),
+        )
+        result, report = supervisor.run(program)
+        print(
+            f"{program.name}: {result.num_supersteps} supersteps, "
+            f"converged={result.converged}"
+        )
+        print(
+            f"recovery: {report.restarts} restart(s), "
+            f"{report.reexecuted_supersteps} superstep(s) re-executed, "
+            f"{report.recovery_read_bytes} recovery bytes, "
+            f"{report.faults_injected} fault(s), "
+            f"backoff {report.total_backoff_s:.2f}s"
+        )
+        for entry in report.fault_log:
+            print(f"  fired: {entry['event']} (superstep {entry['superstep']})")
+        if args.report:
+            import json
+
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=1)
+            print(f"wrote recovery report to {args.report}")
+
+    if args.verify:
+        with Cluster(ClusterSpec(num_servers=args.servers)) as cluster:
+            clean = _build(cluster).run(program)
+        if np.array_equal(result.values, clean.values):
+            print("verify: OK — values bitwise identical to fault-free run")
+        else:
+            print("verify: FAILED — values differ from fault-free run")
+            return 1
+    _emit(result.values, args, descending=args.algorithm == "pagerank")
+    return 0
+
+
 def cmd_shootout(args) -> int:
-    from repro.analysis.experiments import avg_modeled_paper_scale, run_system
+    from repro.analysis.experiments import run_system
 
     graph = _load(args.path)
     systems = ["graphh", "pregel+", "powergraph", "powerlyra", "graphd", "chaos"]
@@ -259,6 +426,51 @@ def build_parser() -> argparse.ArgumentParser:
     x.add_argument("path")
     x.add_argument("--servers", type=int, default=4)
     x.set_defaults(func=cmd_shootout)
+
+    c = sub.add_parser(
+        "chaos",
+        help="run under an injected fault schedule with supervised recovery",
+    )
+    c.add_argument("algorithm", choices=("pagerank", "sssp", "wcc"))
+    c.add_argument("path")
+    c.add_argument("--servers", type=int, default=4, help="cluster width")
+    c.add_argument("--tile-edges", type=int, default=None)
+    c.add_argument("--damping", type=float, default=0.85)
+    c.add_argument("--source", type=int, default=0, help="sssp source vertex")
+    c.add_argument("--max-supersteps", type=int, default=200)
+    c.add_argument(
+        "--checkpoint-every", type=int, default=2, metavar="K",
+        help="checkpoint interval (bounds re-executed work after a fault)",
+    )
+    c.add_argument(
+        "--executor", choices=("serial", "parallel"), default="serial"
+    )
+    c.add_argument("--crash-at", type=int, default=None, metavar="STEP",
+                   help="crash a server at this superstep")
+    c.add_argument("--crash-server", type=int, default=0)
+    c.add_argument("--straggler-at", type=int, default=None, metavar="STEP")
+    c.add_argument("--straggler-server", type=int, default=0)
+    c.add_argument("--straggler-factor", type=float, default=4.0)
+    c.add_argument("--drop-at", type=int, default=None, metavar="STEP",
+                   help="drop a broadcast at this superstep")
+    c.add_argument("--drop-src", type=int, default=0)
+    c.add_argument("--disk-error-at", type=int, default=None, metavar="STEP",
+                   help="transient tile-read error at this superstep")
+    c.add_argument("--retries", type=int, default=2,
+                   help="failed attempts per transient disk error")
+    c.add_argument("--seed", type=int, default=0,
+                   help="seed for the random fault plan")
+    c.add_argument("--crash-rate", type=float, default=0.0)
+    c.add_argument("--straggler-rate", type=float, default=0.0)
+    c.add_argument("--drop-rate", type=float, default=0.0)
+    c.add_argument("--max-restarts", type=int, default=8)
+    c.add_argument("--verify", action="store_true",
+                   help="re-run fault-free and assert bitwise-identical values")
+    c.add_argument("--report", default=None,
+                   help="write the recovery report JSON here")
+    c.add_argument("--output", default=None)
+    c.add_argument("--top", type=int, default=5)
+    c.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -42,6 +42,18 @@ class Counters:
     decompressed: dict[str, int] = field(default_factory=dict)
     compressed: dict[str, int] = field(default_factory=dict)
 
+    # --- fault injection & recovery (repro.faults) ------------------------
+    # Injected faults that hit this server.
+    faults_injected: int = 0
+    # Retried I/O attempts absorbed in place (transient disk/DFS errors).
+    fault_retries: int = 0
+    # Modeled seconds lost to stragglers / retry backoff / restarts; the
+    # cost model adds this straight into the server's superstep time.
+    fault_delay_s: float = 0.0
+    # DFS bytes read purely to recover (checkpoint restore, tile
+    # re-fetch after a crash) — not part of the algorithm's own I/O.
+    recovery_read: int = 0
+
     @property
     def mem_current(self) -> int:
         """Sum of all live memory categories."""
@@ -106,6 +118,10 @@ class Counters:
         self.edges_processed += other.edges_processed
         self.messages_sent += other.messages_sent
         self.messages_processed += other.messages_processed
+        self.faults_injected += other.faults_injected
+        self.fault_retries += other.fault_retries
+        self.fault_delay_s += other.fault_delay_s
+        self.recovery_read += other.recovery_read
         for codec, n in other.decompressed.items():
             self.add_decompressed(codec, n)
         for codec, n in other.compressed.items():
@@ -128,6 +144,10 @@ class Counters:
             "edges_processed": self.edges_processed,
             "messages_sent": self.messages_sent,
             "messages_processed": self.messages_processed,
+            "faults_injected": self.faults_injected,
+            "fault_retries": self.fault_retries,
+            "fault_delay_s": self.fault_delay_s,
+            "recovery_read": self.recovery_read,
         }
         for codec, n in self.decompressed.items():
             out[f"decompressed_{codec}"] = n

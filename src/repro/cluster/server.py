@@ -24,6 +24,9 @@ class Server:
         self.decoded_cache: DecodedTileCache | None = None
         self.counters = Counters()
         self.state: dict[str, Any] = {}
+        # Installed by repro.faults.FaultInjector.attach(); None in
+        # normal runs.  Consulted on the tile-load path only.
+        self.fault_injector: Any | None = None
 
     def attach_cache(self, capacity_bytes: int, mode: int) -> EdgeCache:
         """Install an edge cache (replaces any existing one)."""
@@ -77,7 +80,14 @@ class Server:
           exactly what the simulation must meter;
         * decoded miss: the real blob load runs, the blob is parsed,
           and the decoded object is cached for the next superstep.
+
+        The fault injector (when attached) is consulted first: transient
+        injected read errors re-read the blob through the metered disk
+        and charge retry costs here, before the cache lookup; fatal ones
+        raise :class:`repro.faults.errors.DiskReadFault`.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.on_tile_load(self, name)
         dcache = self.decoded_cache
         if dcache is None:
             return parser(self.load_blob(name))

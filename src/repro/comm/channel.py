@@ -34,22 +34,39 @@ class Channel:
         self._mailboxes: list[deque[Envelope]] = [deque() for _ in servers]
         self.total_bytes = 0
         self.total_messages = 0
+        # Installed by repro.faults.FaultInjector.attach(); None in
+        # normal runs.  May drop deliveries (lost broadcasts).
+        self.fault_injector = None
 
     def _check(self, server_id: int) -> None:
         if not 0 <= server_id < len(self.servers):
             raise ValueError(f"unknown server id {server_id}")
 
     def send(self, src: int, dst: int, payload: bytes) -> None:
-        """Point-to-point send; local sends move no network bytes."""
+        """Point-to-point send; local sends move no network bytes.
+
+        An attached fault injector may *drop* the delivery: the bytes
+        still leave the sender's NIC (and are metered as sent), but the
+        envelope never reaches the destination mailbox — the receiver
+        charges nothing.  The loss surfaces at the BSP barrier via
+        :meth:`repro.faults.FaultInjector.barrier_check`.
+        """
         self._check(src)
         self._check(dst)
+        dropped = (
+            self.fault_injector is not None
+            and src != dst
+            and self.fault_injector.on_deliver(src, dst, len(payload))
+        )
         if src != dst:
             self.servers[src].counters.net_sent += len(payload)
-            self.servers[dst].counters.net_recv += len(payload)
             self.total_bytes += len(payload)
             self.total_messages += 1
+            if not dropped:
+                self.servers[dst].counters.net_recv += len(payload)
         self.servers[src].counters.messages_sent += 1
-        self._mailboxes[dst].append(Envelope(src=src, payload=payload))
+        if not dropped:
+            self._mailboxes[dst].append(Envelope(src=src, payload=payload))
 
     def broadcast(self, src: int, payload: bytes) -> None:
         """Deliver to every *other* server (§III-C's Broadcast step)."""
@@ -69,6 +86,12 @@ class Channel:
         """Messages waiting in a mailbox."""
         self._check(dst)
         return len(self._mailboxes[dst])
+
+    def clear_all(self) -> None:
+        """Discard every undelivered envelope (supervised recovery:
+        a retried superstep re-broadcasts everything)."""
+        for mailbox in self._mailboxes:
+            mailbox.clear()
 
     def reset_meters(self) -> None:
         """Zero channel-level traffic totals (mailboxes untouched)."""

@@ -70,6 +70,7 @@ class GraphH:
         graph: Graph,
         avg_tile_edges: int | None = None,
         name: str | None = None,
+        reuse: bool = False,
     ) -> TileManifest:
         """Pre-process a graph into tiles (SPE stage).
 
@@ -77,13 +78,21 @@ class GraphH:
         least 1 — dozens of tiles per server so every worker has work,
         the regime §III-B.3 recommends (the paper's 15–25M edge tiles
         give hundreds of tiles per server at its scale).
+
+        ``reuse=True`` skips pre-processing when the dataset's tiles
+        are already in the DFS (a persistent ``root`` from a previous
+        run) and loads the existing manifest instead — which also keeps
+        that run's checkpoints resumable.
         """
-        if avg_tile_edges is None:
-            avg_tile_edges = max(
-                1, graph.num_edges // (48 * self.spec.num_servers) or 1
-            )
         name = name or graph.name
-        self._manifest = self.spe.preprocess(graph, avg_tile_edges, name)
+        if reuse and self.cluster.dfs.exists(f"{name}/meta"):
+            self._manifest = self.spe.load_manifest(name)
+        else:
+            if avg_tile_edges is None:
+                avg_tile_edges = max(
+                    1, graph.num_edges // (48 * self.spec.num_servers) or 1
+                )
+            self._manifest = self.spe.preprocess(graph, avg_tile_edges, name)
         self._graph = graph
         self._mpe = MPE(self.cluster, self._manifest, self.config)
         return self._manifest
@@ -102,9 +111,14 @@ class GraphH:
             raise RuntimeError("no graph loaded; call load_graph() first")
         return self._mpe
 
-    def run(self, program: VertexProgram) -> RunResult:
-        """Execute a vertex program over the loaded graph."""
-        return self.mpe.run(program)
+    def run(self, program: VertexProgram, resume: bool = False) -> RunResult:
+        """Execute a vertex program over the loaded graph.
+
+        ``resume=True`` restarts from the newest DFS checkpoint for
+        this (dataset, program) pair, when one exists (requires a
+        config with ``checkpoint_every`` for snapshots to be written).
+        """
+        return self.mpe.run(program, resume=resume)
 
     # ------------------------------------------------------------------
     def pagerank(self, damping: float = 0.85, tolerance: float = 1e-9) -> np.ndarray:
@@ -119,7 +133,7 @@ class GraphH:
 
         return self.run(SSSP(source=source)).values
 
-    def wcc(self) -> np.ndarray:
+    def wcc(self, resume: bool = False) -> np.ndarray:
         """Convenience: weakly-connected-component labels.
 
         Symmetrises the loaded graph into a side dataset on first use
@@ -138,7 +152,7 @@ class GraphH:
         else:
             manifest = self.spe.load_manifest(sym_name)
         mpe = MPE(self.cluster, manifest, self.config)
-        return mpe.run(WCC()).values
+        return mpe.run(WCC(), resume=resume).values
 
     # ------------------------------------------------------------------
     def close(self) -> None:

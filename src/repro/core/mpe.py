@@ -126,10 +126,24 @@ class RunResult:
     values: np.ndarray
     supersteps: list[SuperstepReport]
     converged: bool
+    # --- host-runtime telemetry (PR-1 knobs) --------------------------
+    executor: str = "serial"
+    sort_fallbacks: int = 0
+    decoded_cache_hits: int = 0
+    decoded_cache_misses: int = 0
 
     @property
     def num_supersteps(self) -> int:
         return len(self.supersteps)
+
+    def runtime(self) -> dict:
+        """Host-runtime telemetry (JSON-serialisable)."""
+        return {
+            "executor": self.executor,
+            "sort_fallbacks": self.sort_fallbacks,
+            "decoded_cache_hits": self.decoded_cache_hits,
+            "decoded_cache_misses": self.decoded_cache_misses,
+        }
 
     def trace(self) -> list[dict]:
         """Per-superstep telemetry as plain dicts (JSON-serialisable)."""
@@ -153,18 +167,24 @@ class RunResult:
                     "decompress": s.modeled.decompress_s,
                     "compute": s.modeled.compute_s,
                     "sync": s.modeled.sync_s,
+                    "fault": s.modeled.fault_s,
                     "total": s.modeled.total_s,
                 }
             out.append(row)
         return out
 
     def save_trace(self, path: str) -> None:
-        """Write the telemetry trace as JSON."""
+        """Write the telemetry trace as JSON (per-superstep rows plus
+        the host-runtime summary from :meth:`runtime`)."""
         import json
 
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(
-                {"converged": self.converged, "supersteps": self.trace()},
+                {
+                    "converged": self.converged,
+                    "runtime": self.runtime(),
+                    "supersteps": self.trace(),
+                },
                 fh,
                 indent=1,
             )
@@ -209,6 +229,9 @@ class MPE:
         # and the concatenated update buffer needed a real argsort
         # (expected to stay 0 for both assignment modes).
         self.sort_fallbacks = 0
+        # Installed by repro.faults.FaultInjector.attach(); None in
+        # normal runs.
+        self.injector = None
 
     # ------------------------------------------------------------------
     # Setup: fetch tiles, build blooms, size caches
@@ -303,9 +326,16 @@ class MPE:
         ``resume=True`` restarts from the newest DFS checkpoint for this
         (dataset, program) pair, if one exists.
         """
-        from repro.core.checkpoint import latest_checkpoint, write_checkpoint
+        from repro.core.checkpoint import (
+            checkpoint_path,
+            latest_checkpoint,
+            write_checkpoint,
+        )
 
         self.setup()
+        # A supervised retry may leave half-delivered broadcasts from an
+        # aborted superstep behind; every run starts with clean mailboxes.
+        self.channel.clear_all()
         cfg = self.config
         num_vertices = self.manifest.num_vertices
         in_degrees, out_degrees = self.spe.load_degrees(self.manifest)
@@ -329,6 +359,15 @@ class MPE:
                 init_values = snapshot.values.copy()
                 start_superstep = snapshot.superstep + 1
                 resumed_updated = snapshot.prev_updated
+                # Restoring is DFS traffic: under AA every replica pulls
+                # the snapshot down (recovery I/O, not algorithm I/O).
+                ckpt_bytes = self.cluster.dfs.size(
+                    checkpoint_path(
+                        self.manifest.name, program.name, snapshot.superstep
+                    )
+                )
+                for server in self.cluster.servers:
+                    server.counters.recovery_read += ckpt_bytes
 
         servers = self.cluster.servers
         degrees = out_degrees if program.uses_out_degree else None
@@ -365,6 +404,8 @@ class MPE:
         try:
             for superstep in range(start_superstep, cfg.max_supersteps):
                 t0 = time.perf_counter()
+                if self.injector is not None:
+                    self.injector.begin_superstep(superstep)
                 before = {s.server_id: _snapshot(s) for s in servers}
                 tiles_processed = 0
                 tiles_skipped = 0
@@ -407,6 +448,14 @@ class MPE:
                     if step.payload is not None:
                         message_modes.append(step.payload[0])
                         self.channel.broadcast(server.server_id, step.payload)
+
+                # ---- BSP barrier: detect lost broadcasts ---------------
+                # Every server expects N-1 envelopes; a dropped delivery
+                # fails the superstep *here*, before any store write, so
+                # vertex state is still the previous barrier's and the
+                # supervisor can retry or restore deterministically.
+                if self.injector is not None:
+                    self.injector.barrier_check()
 
                 # ---- BSP barrier: apply all updates everywhere ---------
                 # Also per-server-independent (own store, own mailbox,
@@ -475,11 +524,58 @@ class MPE:
         finally:
             executor.close()
 
+        decoded_hits = sum(
+            s.decoded_cache.stats.hits
+            for s in servers
+            if s.decoded_cache is not None
+        )
+        decoded_misses = sum(
+            s.decoded_cache.stats.misses
+            for s in servers
+            if s.decoded_cache is not None
+        )
         return RunResult(
             values=self._collect_values(cfg, servers, init_values),
             supersteps=reports,
             converged=converged,
+            executor=cfg.executor,
+            sort_fallbacks=self.sort_fallbacks,
+            decoded_cache_hits=decoded_hits,
+            decoded_cache_misses=decoded_misses,
         )
+
+    def respawn_server(self, server_id: int) -> int:
+        """Rebuild a crashed server's local tile store from DFS.
+
+        A crash loses the server's memory *and* local disk.  The
+        in-memory vertex store is rebuilt by the next :meth:`run` (from
+        init values or a checkpoint); this re-fetches the server's
+        assigned tile blobs out of the DFS onto its local disk, charges
+        the traffic as ``recovery_read``, and cold-starts its caches.
+        Returns the bytes re-fetched.
+        """
+        if not self._tiles_fetched:
+            return 0  # nothing assigned yet; setup() will fetch
+        server = self.cluster.servers[server_id]
+        refetched = 0
+        for tile_id, name, _ in self._assignments[server_id]:
+            blob = self.cluster.dfs.read(
+                self.manifest.tile_path(tile_id), prefer_datanode=server_id
+            )
+            server.store_blob(name, blob)
+            refetched += len(blob)
+        server.counters.recovery_read += refetched
+        # Memory contents died with the server: caches restart cold.
+        if server.cache is not None:
+            server.attach_cache(
+                capacity_bytes=server.cache.capacity_bytes,
+                mode=server.cache.mode,
+            )
+        if server.decoded_cache is not None:
+            server.attach_decoded_cache(
+                max_entries=server.decoded_cache.max_entries
+            )
+        return refetched
 
     # ------------------------------------------------------------------
     # Per-server superstep work (executor-mapped; see repro.runtime)
@@ -504,6 +600,8 @@ class MPE:
         previous superstep.
         """
         cfg = self.config
+        if self.injector is not None:
+            self.injector.on_compute(server)
         store = server.state["store"]
         changed_ids_parts: list[np.ndarray] = []
         changed_vals_parts: list[np.ndarray] = []
@@ -532,7 +630,7 @@ class MPE:
         # Charge compute as the LPT makespan of this server's
         # indivisible tiles over its T workers (§III-C.3's
         # OpenMP parallelism, honestly accounting stragglers).
-        server.counters.edges_processed += int(
+        edges_charged = int(
             round(
                 effective_parallel_volume(
                     tile_edge_counts,
@@ -540,6 +638,9 @@ class MPE:
                 )
             )
         )
+        server.counters.edges_processed += edges_charged
+        if self.injector is not None:
+            self.injector.after_compute(server, edges_charged)
 
         if changed_ids_parts:
             ids = np.concatenate(changed_ids_parts)
@@ -668,6 +769,7 @@ def _snapshot(server) -> tuple:
             if server.cache is not None
             else (0, 0)
         ),
+        c.fault_delay_s,
     )
 
 
@@ -686,6 +788,7 @@ def _delta(server, snap: tuple):
         msgs0,
         rand0,
         _cache0,
+        fault0,
     ) = snap
     c = server.counters
     d = Counters()
@@ -696,6 +799,7 @@ def _delta(server, snap: tuple):
     d.disk_write = c.disk_write - dwrite0
     d.edges_processed = c.edges_processed - edges0
     d.messages_processed = c.messages_processed - msgs0
+    d.fault_delay_s = c.fault_delay_s - fault0
     for codec, n in c.decompressed.items():
         prev = decomp0.get(codec, 0)
         if n > prev:

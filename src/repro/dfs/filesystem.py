@@ -13,10 +13,17 @@ assigned tiles to local disk) need in Figure 3's pipeline.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.storage.disk import LocalDisk
 from repro.utils.sizes import MB
+
+# Namenode image persisted next to the datanode directories so a later
+# process on the same root sees the same namespace (block payloads are
+# already real files on the datanode disks).
+_NAMESPACE_FILE = "namespace.json"
 
 
 @dataclass(frozen=True)
@@ -74,6 +81,7 @@ class DistributedFileSystem:
             raise ValueError("replication must be >= 1")
         self.block_size = int(block_size)
         self.replication = min(int(replication), num_datanodes)
+        self._root = Path(root)
         self.datanodes = [
             LocalDisk(f"{root}/datanode-{i}") for i in range(num_datanodes)
         ]
@@ -81,6 +89,13 @@ class DistributedFileSystem:
         self._next_start = 0
         self._next_block_id = 0
         self._dead: set[int] = set()
+        # Installed by repro.faults.FaultInjector.attach(); None in
+        # normal runs.  May inject transient read errors.
+        self.fault_injector = None
+        # A persisted namenode image from a previous process (see
+        # save_namespace) is picked up automatically.
+        if (self._root / _NAMESPACE_FILE).exists():
+            self.load_namespace()
 
     # ------------------------------------------------------------------
     # Namespace operations
@@ -143,8 +158,17 @@ class DistributedFileSystem:
         ``prefer_datanode`` models HDFS short-circuit locality: when a
         block has a replica on that datanode it is read there, keeping
         the transfer local to the requesting server.
+
+        An attached fault injector may declare the read transiently
+        faulty: each failed attempt re-reads the first block's chosen
+        replica (real, metered datanode I/O) before the read succeeds —
+        or raises :class:`repro.faults.errors.DfsReadFault` for fatal
+        events.
         """
         info = self._info(path)
+        extra_attempts = 0
+        if self.fault_injector is not None:
+            extra_attempts = self.fault_injector.on_dfs_read(path)
         parts: list[bytes] = []
         for replicas in info.blocks:
             live = [loc for loc in replicas if loc.datanode not in self._dead]
@@ -159,6 +183,11 @@ class DistributedFileSystem:
                     if loc.datanode == prefer_datanode:
                         chosen = loc
                         break
+            for _ in range(extra_attempts):
+                # Wasted attempt: the replica is read and discarded,
+                # metering the retry traffic on the datanode's disk.
+                self.datanodes[chosen.datanode].read(chosen.blob_name)
+            extra_attempts = 0  # transients hit the first block only
             parts.append(self.datanodes[chosen.datanode].read(chosen.blob_name))
         return b"".join(parts)
 
@@ -170,6 +199,74 @@ class DistributedFileSystem:
         for replicas in info.blocks:
             for loc in replicas:
                 self.datanodes[loc.datanode].delete(loc.blob_name)
+
+    # ------------------------------------------------------------------
+    # Namenode persistence
+    # ------------------------------------------------------------------
+    def save_namespace(self) -> str:
+        """Persist the namenode image (file→block metadata) to the root.
+
+        Datanode block payloads are already durable (real files); this
+        makes the *namespace* survive the process, so a later
+        ``DistributedFileSystem`` on the same root — e.g. a CLI
+        invocation with ``--state-dir`` resuming from a checkpoint —
+        sees every file written here.  Returns the image path.
+        """
+        image = {
+            "block_size": self.block_size,
+            "replication": self.replication,
+            "num_datanodes": len(self.datanodes),
+            "next_start": self._next_start,
+            "next_block_id": self._next_block_id,
+            "dead": sorted(self._dead),
+            "files": {
+                path: {
+                    "size": info.size,
+                    "block_size": info.block_size,
+                    "blocks": [
+                        [
+                            [loc.block_index, loc.datanode, loc.blob_name]
+                            for loc in replicas
+                        ]
+                        for replicas in info.blocks
+                    ],
+                }
+                for path, info in self._files.items()
+            },
+        }
+        out = self._root / _NAMESPACE_FILE
+        out.write_text(json.dumps(image), encoding="utf-8")
+        return str(out)
+
+    def load_namespace(self) -> None:
+        """Restore a persisted namenode image (see :meth:`save_namespace`)."""
+        image = json.loads(
+            (self._root / _NAMESPACE_FILE).read_text(encoding="utf-8")
+        )
+        if image["num_datanodes"] != len(self.datanodes):
+            raise ValueError(
+                f"persisted namespace expects {image['num_datanodes']} "
+                f"datanodes, this cluster has {len(self.datanodes)} — "
+                "use the same cluster width as the original run"
+            )
+        self._next_start = int(image["next_start"])
+        self._next_block_id = int(image["next_block_id"])
+        self._dead = set(image["dead"])
+        self._files = {}
+        for path, meta in image["files"].items():
+            info = DfsFileInfo(
+                path=path, size=int(meta["size"]), block_size=int(meta["block_size"])
+            )
+            for replicas in meta["blocks"]:
+                info.blocks.append(
+                    [
+                        BlockLocation(
+                            block_index=int(b), datanode=int(d), blob_name=n
+                        )
+                        for b, d, n in replicas
+                    ]
+                )
+            self._files[path] = info
 
     # ------------------------------------------------------------------
     # Fault handling

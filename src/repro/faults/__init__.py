@@ -1,0 +1,73 @@
+"""Fault injection & supervised recovery (the `repro.faults` subsystem).
+
+GraphH targets small commodity clusters — the setting where crashed
+servers, flaky disks, slow nodes, and lost messages are routine.  This
+package makes those failures *schedulable*, *injectable*, and
+*survivable*:
+
+* :mod:`repro.faults.schedule` — deterministic fault schedules
+  (:class:`FaultEvent`, :class:`FaultSchedule`) and the seeded
+  :class:`FaultPlan` generator;
+* :mod:`repro.faults.errors` — typed :class:`InjectedFault` errors
+  raised at the injection points;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, wired into the
+  server tile-load/compute paths, the broadcast channel, the DFS read
+  path, and the BSP barrier;
+* :mod:`repro.faults.supervisor` — :class:`Supervisor`, which detects
+  failures at the barrier and recovers via respawn / checkpoint restore
+  under a :class:`RecoveryPolicy`, emitting a :class:`RecoveryReport`.
+
+Core invariant: any supervised run under any schedule converges to
+vertex values **bitwise identical** to the fault-free run, under both
+the serial and parallel executors.
+"""
+
+from repro.faults.errors import (
+    DfsReadFault,
+    DiskReadFault,
+    InjectedFault,
+    MessageDropFault,
+    ServerCrashFault,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    ANY,
+    CRASH,
+    DFS_ERROR,
+    DISK_ERROR,
+    FAULT_KINDS,
+    MSG_DROP,
+    STRAGGLER,
+    FaultEvent,
+    FaultPlan,
+    FaultSchedule,
+)
+from repro.faults.supervisor import (
+    FaultRecord,
+    RecoveryPolicy,
+    RecoveryReport,
+    Supervisor,
+)
+
+__all__ = [
+    "InjectedFault",
+    "ServerCrashFault",
+    "DiskReadFault",
+    "DfsReadFault",
+    "MessageDropFault",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultPlan",
+    "FaultInjector",
+    "Supervisor",
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "FaultRecord",
+    "FAULT_KINDS",
+    "CRASH",
+    "STRAGGLER",
+    "DISK_ERROR",
+    "MSG_DROP",
+    "DFS_ERROR",
+    "ANY",
+]

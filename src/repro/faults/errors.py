@@ -1,0 +1,64 @@
+"""Typed errors raised by the fault-injection points.
+
+Every injected failure surfaces as an :class:`InjectedFault` subclass so
+engines and the :class:`repro.faults.supervisor.Supervisor` can tell
+deliberately injected chaos apart from genuine bugs: a bare
+``except Exception`` must never swallow a real defect just to keep a
+chaos run going, and conversely a supervisor must never "recover" from
+an assertion failure.
+
+Each fault carries the superstep it fired in and (where meaningful) the
+server it hit, which is exactly what the recovery policy needs to pick
+an action and what the recovery report records.
+"""
+
+from __future__ import annotations
+
+
+class InjectedFault(Exception):
+    """Base class for all deliberately injected failures."""
+
+    kind = "fault"
+
+    def __init__(self, message: str, superstep: int = -1, server: int = -1) -> None:
+        super().__init__(message)
+        self.superstep = int(superstep)
+        self.server = int(server)
+
+
+class ServerCrashFault(InjectedFault):
+    """A simulated server died mid-superstep: its memory (vertex store,
+    caches) and local disk contents are gone."""
+
+    kind = "crash"
+
+
+class DiskReadFault(InjectedFault):
+    """A tile read off a server's local disk failed past its retry
+    budget (a non-transient media error)."""
+
+    kind = "disk_error"
+
+
+class DfsReadFault(InjectedFault):
+    """A DFS block read failed past its retry budget."""
+
+    kind = "dfs_error"
+
+
+class MessageDropFault(InjectedFault):
+    """One or more broadcast deliveries were lost this superstep —
+    detected at the BSP barrier before any update is applied, so vertex
+    state is still the previous superstep's."""
+
+    kind = "msg_drop"
+
+    def __init__(
+        self,
+        message: str,
+        superstep: int = -1,
+        server: int = -1,
+        drops: tuple[tuple[int, int], ...] = (),
+    ) -> None:
+        super().__init__(message, superstep=superstep, server=server)
+        self.drops = tuple(drops)

@@ -39,6 +39,9 @@ class SuperstepCost:
     decompress_s: float
     compute_s: float
     sync_s: float
+    # Injected-fault delay (straggler slowdown, retry backoff, restart
+    # waits) charged via ``Counters.fault_delay_s``; 0 in clean runs.
+    fault_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -49,6 +52,7 @@ class SuperstepCost:
             + self.decompress_s
             + self.compute_s
             + self.sync_s
+            + self.fault_s
         )
 
     def scaled_total(self, volume_factor: float) -> float:
@@ -63,6 +67,7 @@ class SuperstepCost:
             (self.disk_s + self.network_s + self.decompress_s + self.compute_s)
             * volume_factor
             + self.sync_s
+            + self.fault_s
         )
 
 
@@ -118,6 +123,7 @@ class CostModel:
             decompress_s=decompress_s,
             compute_s=compute_s,
             sync_s=0.0,
+            fault_s=counters.fault_delay_s,
         )
 
     def superstep_time(self, per_server: list[Counters]) -> SuperstepCost:
@@ -126,11 +132,15 @@ class CostModel:
             raise ValueError("need at least one server's counters")
         costs = [self.server_time(c) for c in per_server]
         # The straggler server gates the barrier; report its breakdown.
-        slowest = max(costs, key=lambda c: c.disk_s + c.decompress_s + c.compute_s)
+        slowest = max(
+            costs,
+            key=lambda c: c.disk_s + c.decompress_s + c.compute_s + c.fault_s,
+        )
         return SuperstepCost(
             disk_s=slowest.disk_s,
             network_s=max(c.network_s for c in costs),
             decompress_s=slowest.decompress_s,
             compute_s=slowest.compute_s,
             sync_s=self.spec.superstep_sync_overhead_s,
+            fault_s=slowest.fault_s,
         )

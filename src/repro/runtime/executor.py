@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor as _PoolImpl
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Sequence
 
 __all__ = [
     "Executor",

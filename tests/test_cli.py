@@ -98,3 +98,57 @@ class TestCli:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCheckpointAndChaosCli:
+    def test_checkpoint_resume_across_invocations(self, graph_csv, tmp_path, capsys):
+        """--state-dir persists tiles + checkpoints + the namenode image,
+        so a later --resume invocation picks up mid-run."""
+        state = str(tmp_path / "state")
+        base = ["pagerank", graph_csv, "--servers", "2",
+                "--checkpoint-every", "2", "--state-dir", state, "--top", "1"]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert "resumed" not in first
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint at superstep" in out
+
+    def test_chaos_verify_and_report(self, graph_csv, tmp_path, capsys):
+        """The chaos subcommand: crash + straggler, supervised recovery,
+        --verify asserting bitwise identity with the fault-free run."""
+        import json
+
+        report = str(tmp_path / "recovery.json")
+        rc = main(
+            [
+                "chaos", "pagerank", graph_csv,
+                "--servers", "3",
+                "--crash-at", "3", "--crash-server", "1",
+                "--straggler-at", "2", "--straggler-server", "0",
+                "--checkpoint-every", "2",
+                "--verify", "--report", report, "--top", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault schedule (2 events)" in out
+        assert "1 restart(s)" in out
+        assert "verify: OK" in out
+        doc = json.loads(open(report).read())
+        assert doc["restarts"] == 1
+        assert doc["recovery_read_bytes"] > 0
+        assert doc["records"][0]["kind"] == "crash"
+
+    def test_chaos_seeded_plan(self, graph_csv, capsys):
+        """Random schedules come from a seeded FaultPlan (replayable)."""
+        rc = main(
+            [
+                "chaos", "sssp", graph_csv,
+                "--servers", "2", "--seed", "7",
+                "--drop-rate", "0.05", "--straggler-rate", "0.05",
+                "--checkpoint-every", "2", "--top", "1",
+            ]
+        )
+        assert rc == 0
+        assert "fault schedule" in capsys.readouterr().out

@@ -3,6 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.core.checkpoint import (
+    latest_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
 from repro.dfs import DistributedFileSystem
 
 
@@ -119,3 +124,48 @@ class TestRepair:
         dfs.revive_datanode(2)
         dfs.revive_datanode(3)
         assert dfs.read("/f") == data
+
+
+class TestCheckpointDurability:
+    """Recovery depends on checkpoints: with replication >= 2 a snapshot
+    must survive any single datanode failure, bitwise, and ``repair()``
+    must bring its blocks back to full replication."""
+
+    @pytest.fixture
+    def snapshot(self, dfs):
+        rng = np.random.default_rng(11)
+        values = rng.random(500)
+        updated = np.flatnonzero(rng.random(500) < 0.3).astype(np.int64)
+        path = write_checkpoint(dfs, "g", "pagerank", 7, values, updated)
+        return path, values, updated
+
+    def test_checkpoint_survives_any_single_datanode_failure(
+        self, dfs, snapshot
+    ):
+        path, values, updated = snapshot
+        for node in range(4):
+            dfs.fail_datanode(node)
+            ckpt = load_checkpoint(dfs, path)
+            assert ckpt.superstep == 7
+            assert np.array_equal(ckpt.values, values)  # bitwise
+            assert np.array_equal(ckpt.prev_updated, updated)
+            dfs.revive_datanode(node)
+
+    def test_repair_restores_checkpoint_replication(self, dfs, snapshot):
+        path, values, _ = snapshot
+        dfs.fail_datanode(1)
+        assert dfs.under_replicated_blocks() > 0
+        dfs.repair()
+        assert dfs.under_replicated_blocks() == 0
+        # With replication restored, a second (different) failure is
+        # still survivable.
+        dfs.fail_datanode(2)
+        assert np.array_equal(load_checkpoint(dfs, path).values, values)
+
+    def test_latest_checkpoint_found_after_failure(self, dfs, snapshot):
+        _, values, _ = snapshot
+        write_checkpoint(dfs, "g", "pagerank", 9, values * 2.0, np.array([1]))
+        dfs.fail_datanode(0)
+        newest = latest_checkpoint(dfs, "g", "pagerank")
+        assert newest is not None and newest.superstep == 9
+        assert np.array_equal(newest.values, values * 2.0)

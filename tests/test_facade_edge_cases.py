@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.apps import PageRank, WCC, reference_solution
+from repro.apps import PageRank, reference_solution
 from repro.cluster import Cluster, ClusterSpec
 from repro.core import MPE, MPEConfig, SPE, GraphH
-from repro.core.spe import TileManifest
 from repro.graph import Graph, chung_lu_graph
 
 

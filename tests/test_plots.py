@@ -1,6 +1,5 @@
 """Tests for the ASCII chart renderer."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.plots import ascii_chart

@@ -9,7 +9,6 @@ an engine bug, not a modelling choice.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Deep property tests over the substrates' strongest invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

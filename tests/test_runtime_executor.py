@@ -222,6 +222,115 @@ class TestDecodedCacheMeteringInvariance:
         _assert_identical(capped, off)
 
 
+class TestResumeUnderParallel:
+    """Checkpoint resume composes with the parallel executor: a run cut
+    short and resumed in parallel must land on the same bitwise values
+    as an uninterrupted serial run, with counters identical to the same
+    interrupted run resumed serially."""
+
+    def _interrupted_then_resumed(self, graph, executor):
+        from repro.apps import PageRank
+        from repro.cluster import Cluster, ClusterSpec
+        from repro.core import MPE, SPE
+
+        cluster = Cluster(ClusterSpec(num_servers=3))
+        spe = SPE(cluster.dfs)
+        manifest = spe.preprocess(
+            graph, max(1, graph.num_edges // 9), name=graph.name
+        )
+        # Phase 1 (always serial, so both variants share an identical
+        # pre-interruption history): 5 supersteps with k=2 snapshots.
+        MPE(
+            cluster, manifest, MPEConfig(checkpoint_every=2, max_supersteps=5)
+        ).run(PageRank())
+        # Phase 2: resume to convergence under the executor under test.
+        result = MPE(
+            cluster,
+            manifest,
+            MPEConfig(executor=executor, checkpoint_every=2, max_supersteps=80),
+        ).run(PageRank(), resume=True)
+        counters = [s.counters.snapshot() for s in cluster.servers]
+        cluster.close()
+        return result, counters
+
+    def test_parallel_resume_bitwise_vs_serial_fresh(self, skewed):
+        from repro.apps import PageRank
+        from repro.cluster import Cluster, ClusterSpec
+        from repro.core import MPE, SPE
+
+        # Uninterrupted serial reference.
+        cluster = Cluster(ClusterSpec(num_servers=3))
+        manifest = SPE(cluster.dfs).preprocess(
+            skewed, max(1, skewed.num_edges // 9), name=skewed.name
+        )
+        fresh = MPE(cluster, manifest, MPEConfig(max_supersteps=80)).run(
+            PageRank()
+        )
+        fresh_values = fresh.values.copy()
+        cluster.close()
+        assert fresh.converged
+
+        serial_res, serial_counters = self._interrupted_then_resumed(
+            skewed, "serial"
+        )
+        parallel_res, parallel_counters = self._interrupted_then_resumed(
+            skewed, "parallel"
+        )
+        # Values: both resumed variants land exactly on the fresh run.
+        assert np.array_equal(serial_res.values, fresh_values)
+        assert np.array_equal(parallel_res.values, fresh_values)
+        # The resumed tail starts after the newest snapshot (superstep 3),
+        # and the resume read is metered as recovery traffic.
+        for res, counters in (
+            (serial_res, serial_counters),
+            (parallel_res, parallel_counters),
+        ):
+            assert res.supersteps[0].superstep == 4
+            assert sum(c["recovery_read"] for c in counters) > 0
+        # Counters: parallel resume meters exactly like serial resume.
+        assert serial_counters == parallel_counters
+
+
+class TestRuntimeTelemetry:
+    """RunResult exposes the PR-1 host-runtime knobs (executor mode,
+    sort fallbacks, decoded-cache hits/misses) in trace output."""
+
+    def test_runtime_block_and_save_trace(self, skewed, tmp_path):
+        import json
+
+        result, _ = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(executor="parallel", num_threads=2),
+            max_supersteps=8,
+        )
+        rt = result.runtime()
+        assert rt["executor"] == "parallel"
+        assert rt["sort_fallbacks"] == 0
+        # First superstep decodes every blob (misses); later supersteps
+        # hit the decoded cache.
+        assert rt["decoded_cache_misses"] > 0
+        assert rt["decoded_cache_hits"] > 0
+
+        out = tmp_path / "trace.json"
+        result.save_trace(str(out))
+        doc = json.loads(out.read_text())
+        assert doc["runtime"] == rt
+        assert doc["supersteps"][0]["superstep"] == 0
+        assert "fault" in doc["supersteps"][0]["modeled_s"]
+
+    def test_decoded_cache_off_counts_nothing(self, skewed):
+        result, _ = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(decoded_cache=False),
+            max_supersteps=6,
+        )
+        assert result.runtime()["decoded_cache_hits"] == 0
+        assert result.runtime()["decoded_cache_misses"] == 0
+        assert result.runtime()["executor"] == "serial"
+
+
 class TestSortSkip:
     """MPE.run must never need the argsort fallback: per-tile changed-id
     parts arrive in ascending disjoint target ranges in both assignment

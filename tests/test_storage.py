@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.storage import (
-    CACHE_MODES,
     CODECS,
     EdgeCache,
     LocalDisk,

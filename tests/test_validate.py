@@ -1,8 +1,5 @@
 """Tests for the cross-engine validation sweep."""
 
-import numpy as np
-import pytest
-
 from repro.analysis.validate import cross_validate
 from repro.apps import SSSP, PageRank
 from repro.graph import chung_lu_graph, grid_graph

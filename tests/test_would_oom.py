@@ -1,7 +1,5 @@
 """Tests for the measured-memory OOM feasibility check."""
 
-import pytest
-
 from repro.analysis.experiments import run_system, would_oom
 from repro.apps import PageRank
 from repro.graph import load_dataset
