@@ -17,6 +17,14 @@ resident steps).  Vertex values are asserted bitwise identical across
 all configs before anything is written — a perf number from a wrong
 answer is worthless.
 
+``--sweep`` instead runs the **executor sweep** for the process-runtime
+PR — serial / thread / process pools at N ∈ {1, 4, 9} — and writes
+``BENCH_procpool.json``.  Every result row records the executor kind,
+its worker width, and the *effective* parallelism on this host
+(``min(width, N, cores)``); a parallel config on a 1-core host gets a
+loud warning and an honest ``effective_parallelism: 1`` in the JSON, so
+nobody mistakes a pinned-core container number for a scaling result.
+
 ``--seed-src DIR`` additionally times the same workload against an
 older source tree (e.g. a git worktree of the seed commit) in a
 subprocess, and records the speedup of ``parallel+decoded`` over that
@@ -26,10 +34,12 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py             # bench tier
     PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --sweep     # executors
     PYTHONPATH=src python benchmarks/bench_hotpath.py \
         --seed-src /path/to/seed-worktree                          # + baseline
 
-Emits ``BENCH_hotpath.json`` at the repository root by default.
+Emits ``BENCH_hotpath.json`` (or ``BENCH_procpool.json`` with
+``--sweep``) at the repository root by default.
 """
 
 from __future__ import annotations
@@ -104,6 +114,48 @@ CONFIGS = [
     ("parallel+decoded", {"executor": "parallel", "decoded_cache": True}),
 ]
 
+# --sweep: one row per executor kind (all with the decoded cache, so the
+# pools are compared on identical per-step work).
+SWEEP_CONFIGS = [
+    ("serial", {"executor": "serial", "decoded_cache": True}),
+    ("thread", {"executor": "parallel", "decoded_cache": True}),
+    ("process", {"executor": "process", "decoded_cache": True}),
+]
+
+SWEEP_SERVER_COUNTS = (1, 4, 9)
+
+
+def _executor_meta(config_kwargs, num_servers: int) -> dict:
+    """Executor kind / worker width / effective parallelism for one
+    result row (satellite: benchmark host metadata)."""
+    from repro.runtime import default_num_threads, default_num_workers
+
+    kwargs = config_kwargs or {}
+    executor = kwargs.get("executor", "serial")
+    if executor == "serial":
+        width = 1
+    elif executor == "parallel":
+        width = kwargs.get("num_threads") or default_num_threads()
+    else:
+        width = kwargs.get("num_workers") or default_num_workers()
+    cores = os.cpu_count() or 1
+    requested = 1 if executor == "serial" else min(width, num_servers)
+    effective = min(requested, cores)
+    if executor != "serial" and effective == 1:
+        print(
+            f"WARNING: executor={executor!r} at N={num_servers} runs with "
+            f"effective parallelism 1 (width {width}, {cores} core(s)) — "
+            "its wall-clock row measures pool overhead, not speedup; "
+            "re-run on a multi-core host for scaling results.",
+            file=sys.stderr,
+        )
+    return {
+        "executor": executor,
+        "worker_width": width,
+        "requested_parallelism": requested,
+        "effective_parallelism": effective,
+    }
+
 
 def _worker_main(argv) -> int:
     """Subprocess entry: time the default config against whatever
@@ -158,6 +210,12 @@ def main() -> int:
         help="tiny fast run for CI: test tier, N in {1,3}, 4 supersteps",
     )
     parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="executor sweep (serial/thread/process × N in {1,4,9}); "
+        "writes BENCH_procpool.json",
+    )
+    parser.add_argument(
         "--seed-src",
         default=None,
         help="path to a seed checkout's src/ to time as the baseline",
@@ -168,14 +226,27 @@ def main() -> int:
         return _worker_main(args.worker)
 
     tier = "test" if args.smoke else args.tier
-    server_counts = (1, 3) if args.smoke else (1, 9)
+    if args.sweep:
+        configs = SWEEP_CONFIGS
+        server_counts = (1, 3) if args.smoke else SWEEP_SERVER_COUNTS
+        benchmark = "procpool"
+        if args.out == str(REPO_ROOT / "BENCH_hotpath.json"):
+            args.out = str(REPO_ROOT / "BENCH_procpool.json")
+    else:
+        configs = CONFIGS
+        server_counts = (1, 3) if args.smoke else (1, 9)
+        benchmark = "hotpath"
     supersteps = 4 if args.smoke else SUPERSTEPS
     repeats = 1 if args.smoke else args.repeats
 
-    from repro.runtime import default_num_threads
+    from repro.runtime import (
+        default_num_threads,
+        default_num_workers,
+        process_runtime_available,
+    )
 
     report = {
-        "benchmark": "hotpath",
+        "benchmark": benchmark,
         "dataset": DATASET,
         "tier": tier,
         "program": "pagerank(tolerance=0)",
@@ -184,14 +255,27 @@ def main() -> int:
         "host": {
             "cpu_count": os.cpu_count(),
             "parallel_threads": default_num_threads(),
+            "process_workers": default_num_workers(),
+            "process_runtime_available": process_runtime_available(),
         },
         "generated_unix": time.time(),
         "results": [],
     }
+    if (os.cpu_count() or 1) == 1:
+        report["host"]["warning"] = (
+            "1-core host: parallel/process rows measure pool overhead, "
+            "not speedup"
+        )
 
     for num_servers in server_counts:
         reference_values = None
-        for name, kwargs in CONFIGS:
+        for name, kwargs in configs:
+            if kwargs.get("executor") == "process" and not (
+                process_runtime_available()
+            ):
+                print(f"N={num_servers:<2} {name:<17} skipped (no fork)")
+                continue
+            meta = _executor_meta(kwargs, num_servers)
             best, values = measure(tier, num_servers, supersteps, repeats, kwargs)
             if reference_values is None:
                 reference_values = values
@@ -199,14 +283,17 @@ def main() -> int:
                 raise SystemExit(
                     f"values diverged for config {name!r} at N={num_servers}"
                 )
-            row = {"config": name, "num_servers": num_servers, **best}
+            row = {"config": name, "num_servers": num_servers, **meta, **best}
             report["results"].append(row)
             print(
                 f"N={num_servers:<2} {name:<17} steps_total={best['steps_total_s']:.3f}s"
                 f" cold={best['cold_step_s']:.4f}s warm={best['warm_mean_s']:.4f}s"
-                f" ({best['supersteps_per_s']:.1f} supersteps/s)"
+                f" ({best['supersteps_per_s']:.1f} supersteps/s,"
+                f" eff.par={meta['effective_parallelism']})"
             )
 
+    if args.seed_src and args.sweep:
+        raise SystemExit("--seed-src applies to the default (hotpath) mode")
     if args.seed_src:
         report["seed_baseline"] = {}
         report["speedup_vs_seed"] = {}

@@ -192,7 +192,8 @@ class ChaosEngine:
 
             step_deltas = [_delta(s, before[s.server_id]) for s in servers]
             net = sum(
-                (s.counters.net_sent - before[s.server_id][0]) for s in servers
+                (s.counters.net_sent - before[s.server_id].net_sent)
+                for s in servers
             )
             reports.append(
                 SuperstepReport(

@@ -69,6 +69,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="persistent cluster root: keeps tiles + checkpoints across "
         "invocations so --resume can pick up where a run stopped",
     )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "parallel", "process"),
+        default="serial",
+        help="host executor: serial sweep, GIL threads, or the "
+        "shared-memory process pool",
+    )
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        metavar="K",
+        help="process-pool width for --executor process "
+        "(default: one per core, capped)",
+    )
 
 
 def _load(path: str) -> Graph:
@@ -129,7 +144,11 @@ def cmd_stats(args) -> int:
 
 
 def _run(graph: Graph, program, args):
-    config = MPEConfig(checkpoint_every=args.checkpoint_every)
+    config = MPEConfig(
+        checkpoint_every=args.checkpoint_every,
+        executor=args.executor,
+        num_workers=args.num_workers,
+    )
     with GraphH(
         num_servers=args.servers, config=config, root=args.state_dir
     ) as gh:
@@ -196,7 +215,11 @@ def cmd_ppr(args) -> int:
 
 def cmd_wcc(args) -> int:
     graph = _load(args.path)
-    config = MPEConfig(checkpoint_every=args.checkpoint_every)
+    config = MPEConfig(
+        checkpoint_every=args.checkpoint_every,
+        executor=args.executor,
+        num_workers=args.num_workers,
+    )
     with GraphH(
         num_servers=args.servers, config=config, root=args.state_dir
     ) as gh:
@@ -443,7 +466,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint interval (bounds re-executed work after a fault)",
     )
     c.add_argument(
-        "--executor", choices=("serial", "parallel"), default="serial"
+        "--executor",
+        choices=("serial", "parallel", "process"),
+        default="serial",
     )
     c.add_argument("--crash-at", type=int, default=None, metavar="STEP",
                    help="crash a server at this superstep")

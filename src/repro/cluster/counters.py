@@ -98,6 +98,33 @@ class Counters:
         """Meter compression work for a codec."""
         self.compressed[codec] = self.compressed.get(codec, 0) + int(nbytes)
 
+    def add_volumes(self, other: "Counters") -> None:
+        """Accumulate another counter set's I/O / work / fault *volumes*.
+
+        Memory gauges and peaks are deliberately excluded: they are
+        absolute mirrors, not additive quantities.  This is how the
+        process executor folds worker-side superstep deltas (shipped as
+        volumes-only :class:`Counters`, see
+        :meth:`CounterSnapshot.delta`) back into the parent's
+        authoritative per-server counters.
+        """
+        self.disk_read += other.disk_read
+        self.disk_read_random += other.disk_read_random
+        self.disk_write += other.disk_write
+        self.net_sent += other.net_sent
+        self.net_recv += other.net_recv
+        self.edges_processed += other.edges_processed
+        self.messages_sent += other.messages_sent
+        self.messages_processed += other.messages_processed
+        self.faults_injected += other.faults_injected
+        self.fault_retries += other.fault_retries
+        self.fault_delay_s += other.fault_delay_s
+        self.recovery_read += other.recovery_read
+        for codec, n in other.decompressed.items():
+            self.add_decompressed(codec, n)
+        for codec, n in other.compressed.items():
+            self.add_compressed(codec, n)
+
     def merge(self, other: "Counters") -> None:
         """Accumulate another counter set into this one.
 
@@ -154,3 +181,75 @@ class Counters:
         for codec, n in self.compressed.items():
             out[f"compressed_{codec}"] = n
         return out
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Frozen view of the counter fields that accumulate inside one
+    superstep.
+
+    Replaces the positional snapshot tuples the engines used to carry
+    (``before[server_id][9]`` magic indices); :meth:`delta` rebuilds the
+    superstep's volumes-only :class:`Counters` for the cost model, and
+    the process executor ships exactly that delta from worker to parent.
+    Cache hit/lookup totals ride along so per-superstep hit ratios need
+    no second bookkeeping structure.
+    """
+
+    net_sent: int
+    net_recv: int
+    disk_read: int
+    disk_read_random: int
+    disk_write: int
+    edges_processed: int
+    messages_processed: int
+    fault_delay_s: float
+    decompressed: dict[str, int]
+    compressed: dict[str, int]
+    cache_hits: int
+    cache_lookups: int
+
+    @classmethod
+    def capture(cls, server) -> "CounterSnapshot":
+        """Snapshot one server's in-superstep counters (and cache
+        totals, when a cache is attached)."""
+        c = server.counters
+        cache = getattr(server, "cache", None)
+        return cls(
+            net_sent=c.net_sent,
+            net_recv=c.net_recv,
+            disk_read=c.disk_read,
+            disk_read_random=c.disk_read_random,
+            disk_write=c.disk_write,
+            edges_processed=c.edges_processed,
+            messages_processed=c.messages_processed,
+            fault_delay_s=c.fault_delay_s,
+            decompressed=dict(c.decompressed),
+            compressed=dict(c.compressed),
+            cache_hits=cache.stats.hits if cache is not None else 0,
+            cache_lookups=cache.stats.lookups if cache is not None else 0,
+        )
+
+    def delta(self, server) -> Counters:
+        """Volumes accumulated on ``server`` since this snapshot, as a
+        :class:`Counters` holding only those volumes (what the cost
+        model prices for one superstep)."""
+        c = server.counters
+        d = Counters()
+        d.net_sent = c.net_sent - self.net_sent
+        d.net_recv = c.net_recv - self.net_recv
+        d.disk_read = c.disk_read - self.disk_read
+        d.disk_read_random = c.disk_read_random - self.disk_read_random
+        d.disk_write = c.disk_write - self.disk_write
+        d.edges_processed = c.edges_processed - self.edges_processed
+        d.messages_processed = c.messages_processed - self.messages_processed
+        d.fault_delay_s = c.fault_delay_s - self.fault_delay_s
+        for codec, n in c.decompressed.items():
+            prev = self.decompressed.get(codec, 0)
+            if n > prev:
+                d.add_decompressed(codec, n - prev)
+        for codec, n in c.compressed.items():
+            prev = self.compressed.get(codec, 0)
+            if n > prev:
+                d.add_compressed(codec, n - prev)
+        return d

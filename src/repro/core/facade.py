@@ -22,6 +22,8 @@ many vertex-centric programs."
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.apps.base import VertexProgram
@@ -47,6 +49,12 @@ class GraphH:
         Engine tunables (cache, codec, comm mode, bloom filters).
     root:
         Directory for cluster state; a private temp dir by default.
+    executor:
+        Shortcut for the host executor (``"serial"`` / ``"parallel"`` /
+        ``"process"``); overlays ``config`` when given.
+    num_workers:
+        Process-pool width for ``executor="process"``; overlays
+        ``config`` when given.
     """
 
     def __init__(
@@ -55,10 +63,19 @@ class GraphH:
         spec: ClusterSpec | None = None,
         config: MPEConfig | None = None,
         root: str | None = None,
+        executor: str | None = None,
+        num_workers: int | None = None,
     ) -> None:
         self.spec = spec or ClusterSpec(num_servers=num_servers)
         self.cluster = Cluster(self.spec, root=root)
         self.config = config or MPEConfig()
+        if executor is not None or num_workers is not None:
+            overrides = {}
+            if executor is not None:
+                overrides["executor"] = executor
+            if num_workers is not None:
+                overrides["num_workers"] = num_workers
+            self.config = dataclasses.replace(self.config, **overrides)
         self.spe = SPE(self.cluster.dfs)
         self._manifest: TileManifest | None = None
         self._mpe: MPE | None = None

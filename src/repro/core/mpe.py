@@ -25,17 +25,25 @@ paper's OpenMP worker boundary sits.
 
 from __future__ import annotations
 
+import os
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.apps.base import VertexProgram
 from repro.cluster.cluster import Cluster
+from repro.cluster.counters import CounterSnapshot, Counters
 from repro.comm import Channel, decode_update, encode_update
 from repro.comm.messages import DENSE, SPARSE, SPARSITY_THRESHOLD
 from repro.core.spe import SPE, TileManifest
-from repro.core.vertexstore import AllInAllStore, OnDemandStore
+from repro.core.vertexstore import (
+    AllInAllStore,
+    OnDemandStore,
+    SharedOnDemandStore,
+    SharedVertexStore,
+)
 from repro.metrics.cost import CostModel, SuperstepCost
 from repro.metrics.schedule import effective_parallel_volume
 from repro.partition.tiles import (
@@ -43,7 +51,11 @@ from repro.partition.tiles import (
     assign_tiles_balanced,
     assign_tiles_round_robin,
 )
-from repro.runtime import make_executor
+from repro.runtime import (
+    default_num_workers,
+    make_executor,
+    process_runtime_available,
+)
 from repro.storage.cache import select_cache_mode
 from repro.utils.bloom import ALL_KEYS, BloomFilter, HashedKeys, hash_keys
 from repro.utils.segments import merge_sorted_unique, segment_reduce
@@ -70,11 +82,18 @@ class MPEConfig:
     checkpoint_every: int | None = None
     # --- host-runtime knobs (repro.runtime) ---------------------------
     # How the per-server superstep loop executes on the host: "serial"
-    # (reference order) or "parallel" (one OS thread per simulated
-    # server; bitwise-identical results, identical metering).
+    # (reference order), "parallel" (one OS thread per simulated
+    # server), or "process" (forked worker pool over shared-memory
+    # vertex state — GIL-free).  All three are bitwise-identical in
+    # results and metering.  The REPRO_EXECUTOR environment variable
+    # (CI's forcing flag) overrides this at run time.
     executor: str = "serial"
     # Thread count for the parallel executor (None → one per core).
     num_threads: int | None = None
+    # Worker-process count for the process executor (None → one per
+    # core); also used as the thread count if the platform lacks
+    # fork/shared-memory and the run degrades to the thread executor.
+    num_workers: int | None = None
     # Keep decoded Tile objects live between supersteps instead of
     # re-running Tile.from_bytes per blob per superstep.  Metering is
     # byte-identical either way (Server.load_tile), so this defaults on.
@@ -95,10 +114,14 @@ class MPEConfig:
             raise ValueError("max_supersteps must be >= 1")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1 or None")
-        if self.executor not in ("serial", "parallel"):
-            raise ValueError('executor must be "serial" or "parallel"')
+        if self.executor not in ("serial", "parallel", "process"):
+            raise ValueError(
+                'executor must be "serial", "parallel", or "process"'
+            )
         if self.num_threads is not None and self.num_threads < 1:
             raise ValueError("num_threads must be >= 1 or None")
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1 or None")
         if self.decoded_cache_entries is not None and self.decoded_cache_entries < 1:
             raise ValueError("decoded_cache_entries must be >= 1 or None")
 
@@ -232,6 +255,17 @@ class MPE:
         # Installed by repro.faults.FaultInjector.attach(); None in
         # normal runs.
         self.injector = None
+        # --- process-runtime state (see repro.runtime.process) --------
+        # Parent side: shared scratch for the previous update set, the
+        # program of the active run, and the workers' last-reported
+        # cache content fingerprints.  Worker side (set post-fork by
+        # _process_child_init): each owned server's staged own-update
+        # and the per-superstep hashed-key memo.
+        self._hash_scratch = None
+        self._run_program: VertexProgram | None = None
+        self._worker_content: dict[int, tuple] = {}
+        self._worker_last: dict[int, tuple] = {}
+        self._worker_hash_memo: tuple | None = None
 
     # ------------------------------------------------------------------
     # Setup: fetch tiles, build blooms, size caches
@@ -371,75 +405,122 @@ class MPE:
 
         servers = self.cluster.servers
         degrees = out_degrees if program.uses_out_degree else None
-        for server in servers:
-            if cfg.replication_policy == "aa":
-                # All-in-All: full dense arrays on every server.
-                store = AllInAllStore(init_values, degrees)
-            else:
-                # On-Demand: only this server's tile sources ∪ targets.
-                pieces = self._server_sources[server.server_id] + [
-                    self._server_target_ids[server.server_id]
-                ]
-                local = (
-                    np.unique(np.concatenate(pieces))
-                    if pieces
-                    else np.zeros(0, dtype=np.int64)
-                )
-                store = OnDemandStore(init_values, degrees, local)
-            server.state["store"] = store
-            vertex_bytes, message_bytes = store.memory_bytes()
-            server.counters.set_memory("vertex", vertex_bytes)
-            # Incoming-update buffer (the message array of §III-C.1).
-            server.counters.set_memory("messages", message_bytes)
-
-        # Vertices "updated" in the previous superstep — drives bloom
-        # skipping.  Superstep 0 processes everything (initial load); a
-        # resumed run continues with the checkpointed update set.
-        prev_updated: np.ndarray | None = resumed_updated
-        reports: list[SuperstepReport] = []
-        cost_model = CostModel(self.cluster.spec)
-        converged = False
-
-        executor = make_executor(cfg.executor, cfg.num_threads)
+        runtime_name, num_workers = self._resolve_runtime()
+        use_process = runtime_name == "process"
+        # Run-scoped shared-memory state (stores, scratch, bloom bits,
+        # blob arena) is torn down LIFO in the finally below — on every
+        # path, including injected faults and KeyboardInterrupt, so no
+        # SharedMemory segment outlives the run.
+        cleanup: list = []
+        executor = None
         try:
+            deg_shared = None
+            if use_process and cfg.replication_policy == "aa" and degrees is not None:
+                # AA replicas share one read-only degree segment — a
+                # host-side dedup; each store still *accounts* a full
+                # per-replica copy (§IV-A).
+                from repro.runtime.shm import SharedArray
+
+                deg_shared = SharedArray.from_array(degrees.astype(np.int32))
+                cleanup.append(deg_shared.release)
+            for server in servers:
+                if cfg.replication_policy == "aa":
+                    # All-in-All: full dense arrays on every server.
+                    if use_process:
+                        store = SharedVertexStore(
+                            init_values, degrees, degrees_shared=deg_shared
+                        )
+                        cleanup.append(store.release)
+                    else:
+                        store = AllInAllStore(init_values, degrees)
+                else:
+                    # On-Demand: only this server's tile sources ∪ targets.
+                    pieces = self._server_sources[server.server_id] + [
+                        self._server_target_ids[server.server_id]
+                    ]
+                    local = (
+                        np.unique(np.concatenate(pieces))
+                        if pieces
+                        else np.zeros(0, dtype=np.int64)
+                    )
+                    if use_process:
+                        store = SharedOnDemandStore(init_values, degrees, local)
+                        cleanup.append(store.release)
+                    else:
+                        store = OnDemandStore(init_values, degrees, local)
+                server.state["store"] = store
+                vertex_bytes, message_bytes = store.memory_bytes()
+                server.counters.set_memory("vertex", vertex_bytes)
+                # Incoming-update buffer (the message array of §III-C.1).
+                server.counters.set_memory("messages", message_bytes)
+
+            # Vertices "updated" in the previous superstep — drives bloom
+            # skipping.  Superstep 0 processes everything (initial load); a
+            # resumed run continues with the checkpointed update set.
+            prev_updated: np.ndarray | None = resumed_updated
+            reports: list[SuperstepReport] = []
+            cost_model = CostModel(self.cluster.spec)
+            converged = False
+
+            if use_process:
+                # Fork point: every shared structure above must exist
+                # first, so workers inherit it by address, not by pickle.
+                executor = self._start_process_pool(
+                    program, num_vertices, num_workers, cleanup
+                )
+            elif runtime_name == "parallel":
+                executor = make_executor(
+                    "parallel", cfg.num_threads or cfg.num_workers
+                )
+            else:
+                # Forced serial (e.g. REPRO_EXECUTOR): thread knobs
+                # configured for another executor don't apply here.
+                executor = make_executor("serial")
+
             for superstep in range(start_superstep, cfg.max_supersteps):
                 t0 = time.perf_counter()
                 if self.injector is not None:
                     self.injector.begin_superstep(superstep)
-                before = {s.server_id: _snapshot(s) for s in servers}
+                before = {
+                    s.server_id: CounterSnapshot.capture(s) for s in servers
+                }
                 tiles_processed = 0
                 tiles_skipped = 0
                 message_modes: list[int] = []
                 all_updates: list[tuple[np.ndarray, np.ndarray]] = []
 
-                # Hash the updated set once per superstep: bloom probe
-                # hashes are filter-independent, so every tile check on
-                # every server shares this read-only batch instead of
-                # re-mixing the whole set per tile.  When *every* vertex
-                # updated (PageRank's dense phase), ALL_KEYS lets the
-                # filter answer from its insert count alone — provably
-                # the same decision, zero hashing.
-                prev_hashed = None
-                if cfg.use_bloom_filters and prev_updated is not None:
-                    prev_hashed = (
-                        ALL_KEYS
-                        if prev_updated.size == num_vertices
-                        else hash_keys(prev_updated)
-                    )
-
                 # ---- compute: each server streams its tiles ------------
                 # Fanned out by the executor; each call touches only its
                 # own server's state (+ read-only shared structures), so
-                # thread-parallel execution is race-free and bitwise
-                # identical to serial.  Cross-server effects (broadcast
-                # delivery) are staged in the results and flushed below
-                # in server-id order, exactly like the serial schedule.
-                steps = executor.map(
-                    lambda server: self._compute_server_step(
-                        program, server, superstep, prev_hashed
-                    ),
-                    servers,
-                )
+                # parallel execution is race-free and bitwise identical
+                # to serial.  Cross-server effects (broadcast delivery)
+                # are staged in the results and flushed below in
+                # server-id order, exactly like the serial schedule.
+                if use_process:
+                    steps = self._process_compute_phase(
+                        executor, servers, superstep, prev_updated, num_vertices
+                    )
+                else:
+                    # Hash the updated set once per superstep: bloom probe
+                    # hashes are filter-independent, so every tile check on
+                    # every server shares this read-only batch instead of
+                    # re-mixing the whole set per tile.  When *every* vertex
+                    # updated (PageRank's dense phase), ALL_KEYS lets the
+                    # filter answer from its insert count alone — provably
+                    # the same decision, zero hashing.
+                    prev_hashed = None
+                    if cfg.use_bloom_filters and prev_updated is not None:
+                        prev_hashed = (
+                            ALL_KEYS
+                            if prev_updated.size == num_vertices
+                            else hash_keys(prev_updated)
+                        )
+                    steps = executor.map(
+                        lambda server: self._compute_server_step(
+                            program, server, superstep, prev_hashed
+                        ),
+                        servers,
+                    )
                 for server, step in zip(servers, steps):
                     tiles_processed += step.tiles_processed
                     tiles_skipped += step.tiles_skipped
@@ -459,11 +540,35 @@ class MPE:
 
                 # ---- BSP barrier: apply all updates everywhere ---------
                 # Also per-server-independent (own store, own mailbox,
-                # own counters; all_updates is read-only here).
-                executor.map(
-                    lambda server: self._apply_server_step(server, all_updates),
-                    servers,
-                )
+                # own counters).  The parent drains each mailbox and, in
+                # process mode, ships the (src, payload) inbox to the
+                # worker owning the server, which writes straight into
+                # the shared value arrays and returns its counter delta.
+                if use_process:
+                    inboxes = [
+                        [
+                            (env.src, env.payload)
+                            for env in self.channel.receive_all(s.server_id)
+                        ]
+                        for s in servers
+                    ]
+                    apply_deltas = executor.run_phase("apply", inboxes)
+                    for server, delta in zip(servers, apply_deltas):
+                        server.counters.add_volumes(delta)
+                else:
+                    executor.map(
+                        lambda server: self._apply_server_step(
+                            server,
+                            all_updates[server.server_id],
+                            [
+                                (env.src, env.payload)
+                                for env in self.channel.receive_all(
+                                    server.server_id
+                                )
+                            ],
+                        ),
+                        servers,
+                    )
                 updated_count = sum(ids.size for ids, _ in all_updates)
                 # Per-server update sets are sorted and disjoint (each
                 # server owns disjoint target ranges): a k-way merge
@@ -474,7 +579,7 @@ class MPE:
 
                 # ---- per-superstep accounting --------------------------
                 step_deltas = [
-                    _delta(server, before[server.server_id])
+                    before[server.server_id].delta(server)
                     for server in servers
                 ]
                 step_cost = cost_model.superstep_time(step_deltas)
@@ -483,9 +588,9 @@ class MPE:
                 for server in servers:
                     if server.cache is None:
                         continue
-                    h0, l0 = before[server.server_id][9]
-                    dl = server.cache.stats.lookups - l0
-                    dh = server.cache.stats.hits - h0
+                    snap = before[server.server_id]
+                    dl = server.cache.stats.lookups - snap.cache_lookups
+                    dh = server.cache.stats.hits - snap.cache_hits
                     if dl:
                         hits.append(dh / dl)
                 reports.append(
@@ -521,8 +626,15 @@ class MPE:
                 if updated_count == 0:
                     converged = True
                     break
+
+            # Collect results while run-scoped shared stores are still
+            # mapped; the finally unlinks their segments.
+            values = self._collect_values(cfg, servers, init_values)
         finally:
-            executor.close()
+            if executor is not None:
+                executor.close()
+            for fn in reversed(cleanup):
+                fn()
 
         decoded_hits = sum(
             s.decoded_cache.stats.hits
@@ -535,10 +647,10 @@ class MPE:
             if s.decoded_cache is not None
         )
         return RunResult(
-            values=self._collect_values(cfg, servers, init_values),
+            values=values,
             supersteps=reports,
             converged=converged,
-            executor=cfg.executor,
+            executor=runtime_name,
             sort_fallbacks=self.sort_fallbacks,
             decoded_cache_hits=decoded_hits,
             decoded_cache_misses=decoded_misses,
@@ -576,6 +688,371 @@ class MPE:
                 max_entries=server.decoded_cache.max_entries
             )
         return refetched
+
+    # ------------------------------------------------------------------
+    # Process runtime (repro.runtime.process + repro.runtime.shm)
+    # ------------------------------------------------------------------
+    def _resolve_runtime(self) -> tuple[str, int]:
+        """Resolve this run's executor and process worker count.
+
+        ``REPRO_EXECUTOR`` (CI's forcing flag) overrides the config; a
+        ``process`` request degrades to the thread executor — with a
+        warning — when the platform lacks fork or POSIX shared memory.
+        """
+        cfg = self.config
+        name = os.environ.get("REPRO_EXECUTOR", "").strip() or cfg.executor
+        if name not in ("serial", "parallel", "process"):
+            raise ValueError(
+                f"unknown executor {name!r} (from REPRO_EXECUTOR or config)"
+            )
+        num_workers = cfg.num_workers or default_num_workers()
+        if name == "process" and not process_runtime_available():
+            warnings.warn(
+                "process executor unavailable on this platform (needs fork "
+                "+ POSIX shared memory); falling back to the thread executor",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            name = "parallel"
+        return name, num_workers
+
+    def _start_process_pool(
+        self, program, num_vertices: int, num_workers: int, cleanup: list
+    ):
+        """Stage shared-memory state and fork the worker pool.
+
+        Everything big becomes shared *before* the fork — the vertex
+        stores already are (built as ``Shared*`` variants), and here the
+        updated-id scratch, every bloom filter's bit array, and all tile
+        blobs (one read-only arena fronting each server's disk with
+        unchanged metering) join them.  Per-superstep dispatch then
+        ships only ``(superstep, spec)`` handles down and compact
+        :class:`_ProcessStep` results back.  Teardown actions are pushed
+        onto ``cleanup`` (run LIFO by ``run``'s finally).
+        """
+        from repro.runtime.process import ProcessExecutor
+        from repro.runtime.shm import ArenaDisk, SharedArray, SharedBlobArena
+
+        servers = self.cluster.servers
+        self._run_program = program
+        self._worker_content = {}
+
+        # Shared id scratch: the parent stages the previous update set,
+        # each worker hashes it locally (filter-independent hashing, so
+        # the redundancy is safe and runs in parallel).
+        scratch = SharedArray((max(1, num_vertices),), np.int64)
+        self._hash_scratch = scratch
+
+        def _drop_scratch() -> None:
+            self._hash_scratch = None
+            scratch.release()
+
+        cleanup.append(_drop_scratch)
+
+        # Bloom bit arrays move into shared segments for the run (and
+        # back out at teardown — later runs may be thread/serial).
+        relocated = []
+        for bloom in self._blooms.values():
+            sh = SharedArray.from_array(bloom.export_bits())
+            bloom.adopt_bits(sh.array)
+            relocated.append((bloom, sh))
+
+        def _restore_blooms() -> None:
+            for bloom, sh in relocated:
+                bloom.adopt_bits(np.array(sh.array, dtype=np.uint64))
+                sh.release()
+
+        cleanup.append(_restore_blooms)
+
+        # Tile blobs: one shared read-only arena; every server's disk is
+        # fronted by an arena view with byte-identical metering, so
+        # worker tile loads touch shared pages instead of per-process
+        # file reads.
+        def _blob_items():
+            for server in servers:
+                for _tid, name, _nbytes in self._assignments[server.server_id]:
+                    if server.disk.exists(name):
+                        yield name, server.disk.peek(name)
+
+        arena = SharedBlobArena(_blob_items())
+        swapped = []
+        for server in servers:
+            swapped.append((server, server.disk))
+            server.disk = ArenaDisk(server.disk, arena)
+
+        def _restore_disks() -> None:
+            for server, original in swapped:
+                disk = server.disk
+                if isinstance(disk, ArenaDisk):
+                    disk.restore()
+                server.disk = original
+            arena.release()
+
+        cleanup.append(_restore_disks)
+
+        # Cache contents live in the workers while the pool runs; the
+        # parent's mirrors are resynchronised at teardown (runs first —
+        # LIFO — while key lists are fresh).
+        cleanup.append(self._resync_parent_caches)
+
+        pool = ProcessExecutor(num_workers)
+        pool.start(
+            self._process_phase_handler,
+            len(servers),
+            child_init=self._process_child_init,
+        )
+        return pool
+
+    def _process_child_init(self) -> None:
+        """Runs once in each forked worker: detach parent-only machinery.
+
+        All fault decisions are resolved in the parent (the injector's
+        one-shot fired-set must stay authoritative across pool
+        lifetimes), and mailboxes / DFS belong to the parent; a worker
+        touching either would double-fire or double-meter.
+        """
+        self.injector = None
+        for server in self.cluster.servers:
+            server.fault_injector = None
+        self.channel.fault_injector = None
+        self.cluster.dfs.fault_injector = None
+        self._worker_last = {}
+        self._worker_hash_memo = None
+
+    def _worker_hashed_keys(self, superstep: int, spec):
+        """Worker-side reconstruction of the hashed update set.
+
+        ``spec`` is the compute handle: ``None`` (no filtering),
+        ``"all"`` (every vertex updated → :data:`ALL_KEYS`), or the
+        count of ids staged in the shared scratch.  Hashed once per
+        worker per superstep (memoised), not once per owned server.
+        """
+        if spec is None:
+            return None
+        if spec == "all":
+            return ALL_KEYS
+        memo = self._worker_hash_memo
+        if memo is not None and memo[0] == superstep:
+            return memo[1]
+        hashed = hash_keys(self._hash_scratch.array[:spec])
+        self._worker_hash_memo = (superstep, hashed)
+        return hashed
+
+    def _process_phase_handler(self, tag: str, server_id: int, payload):
+        """Worker-side phase dispatch (runs in the forked pool)."""
+        server = self.cluster.servers[server_id]
+        snap = CounterSnapshot.capture(server)
+        if tag == "compute":
+            superstep, spec = payload
+            prev_hashed = self._worker_hashed_keys(superstep, spec)
+            step = self._compute_server_step(
+                self._run_program, server, superstep, prev_hashed
+            )
+            # Own updates stay worker-side for the apply phase; the
+            # parent gets its own copy in the result for broadcast
+            # bookkeeping and convergence accounting.
+            self._worker_last[server_id] = (step.ids, step.vals)
+            c = server.counters
+            cache = server.cache
+            decoded = server.decoded_cache
+            return _ProcessStep(
+                ids=step.ids,
+                vals=step.vals,
+                payload=step.payload,
+                tiles_processed=step.tiles_processed,
+                tiles_skipped=step.tiles_skipped,
+                sort_fallbacks=step.sort_fallbacks,
+                delta=snap.delta(server),
+                mem_cache=c.mem_cache,
+                mem_scratch=c.mem_scratch,
+                mem_peak=c.mem_peak,
+                cache_stats=(
+                    (
+                        cache.stats.hits,
+                        cache.stats.misses,
+                        cache.stats.evictions,
+                        cache.stats.insertions,
+                        cache.stats.rejected,
+                        cache.stats.bytes_decompressed,
+                        cache.stats.bytes_compressed_in,
+                    )
+                    if cache is not None
+                    else None
+                ),
+                decoded_stats=(
+                    (
+                        decoded.stats.hits,
+                        decoded.stats.misses,
+                        decoded.stats.evictions,
+                        decoded.stats.insertions,
+                        decoded.stats.invalidations,
+                    )
+                    if decoded is not None
+                    else None
+                ),
+                cache_keys=(
+                    tuple(cache.content_keys()) if cache is not None else None
+                ),
+                decoded_keys=(
+                    tuple(decoded.content_keys())
+                    if decoded is not None
+                    else None
+                ),
+            )
+        if tag == "apply":
+            own = self._worker_last.pop(
+                server_id,
+                (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)),
+            )
+            self._apply_server_step(server, own, payload)
+            return snap.delta(server)
+        raise ValueError(f"unknown phase {tag!r}")
+
+    def _process_compute_phase(
+        self, executor, servers, superstep: int, prev_updated, num_vertices: int
+    ) -> "list[_ProcessStep]":
+        """Parent-side compute dispatch for the process executor."""
+        cfg = self.config
+        spec = None
+        if cfg.use_bloom_filters and prev_updated is not None:
+            if prev_updated.size == num_vertices:
+                spec = "all"
+            else:
+                n = int(prev_updated.size)
+                self._hash_scratch.array[:n] = prev_updated
+                spec = n
+        if self.injector is not None:
+            if spec == "all":
+                prev_hashed = ALL_KEYS
+            elif spec is not None:
+                prev_hashed = hash_keys(prev_updated)
+            else:
+                prev_hashed = None
+            self._resolve_compute_faults(servers, superstep, prev_hashed)
+        steps = executor.run_phase(
+            "compute", [(superstep, spec)] * len(servers)
+        )
+        for server, step in zip(servers, steps):
+            self._merge_worker_step(server, step)
+        if self.injector is not None:
+            # Straggler charges: serial fires these at the end of each
+            # server's sweep; the volumes come back in the deltas.
+            for server, step in zip(servers, steps):
+                self.injector.after_compute(
+                    server, step.delta.edges_processed
+                )
+        return steps
+
+    def _resolve_compute_faults(self, servers, superstep, prev_hashed) -> None:
+        """Fire compute-phase fault decisions in the parent, in serial
+        sweep order, before dispatching to workers.
+
+        Crash and disk-error points are replayed against the same
+        (superstep, server, first-loaded-blob) coordinates the serial
+        sweep would present; a crash therefore aborts the superstep
+        before any worker computes, with vertex state untouched — the
+        same post-abort state as every other executor ("fail before
+        mutate").
+        """
+        from repro.faults.schedule import DISK_ERROR
+
+        injector = self.injector
+        disk_events = [
+            e for e in injector.schedule.events if e.kind == DISK_ERROR
+        ]
+        for server in servers:
+            injector.on_compute(server)
+            if not disk_events:
+                continue
+            if not any(
+                e.matches(superstep, server.server_id) for e in disk_events
+            ):
+                continue
+            blob_name = self._first_loaded_blob(
+                server.server_id, superstep, prev_hashed
+            )
+            if blob_name is not None:
+                injector.on_tile_load(server, blob_name)
+
+    def _first_loaded_blob(
+        self, server_id: int, superstep: int, prev_hashed
+    ) -> str | None:
+        """The first tile blob this server's sweep would actually load
+        (bloom skips applied) — the parent-side stand-in for the
+        worker's first ``on_tile_load`` coordinate."""
+        for tile_id, blob_name, _nbytes in self._assignments[server_id]:
+            if (
+                superstep > 0
+                and prev_hashed is not None
+                and not self._blooms[tile_id].might_intersect(prev_hashed)
+            ):
+                continue
+            return blob_name
+        return None
+
+    def _merge_worker_step(self, server, step: "_ProcessStep") -> None:
+        """Fold a worker's compute result into the parent's mirrors:
+        additive volumes via the shipped delta; worker-authoritative
+        gauges, peaks, and cache stats as absolutes."""
+        c = server.counters
+        c.add_volumes(step.delta)
+        c.mem_cache = step.mem_cache
+        c.mem_scratch = step.mem_scratch
+        if step.mem_peak > c.mem_peak:
+            c.mem_peak = step.mem_peak
+        if step.cache_stats is not None and server.cache is not None:
+            st = server.cache.stats
+            (
+                st.hits,
+                st.misses,
+                st.evictions,
+                st.insertions,
+                st.rejected,
+                st.bytes_decompressed,
+                st.bytes_compressed_in,
+            ) = step.cache_stats
+        if step.decoded_stats is not None and server.decoded_cache is not None:
+            st = server.decoded_cache.stats
+            (
+                st.hits,
+                st.misses,
+                st.evictions,
+                st.insertions,
+                st.invalidations,
+            ) = step.decoded_stats
+        self._worker_content[server.server_id] = (
+            step.cache_keys,
+            step.decoded_keys,
+        )
+
+    def _resync_parent_caches(self) -> None:
+        """Rebuild parent-side cache *contents* from the workers' final
+        key lists as the pool winds down.
+
+        Stats and gauges were mirrored every superstep; contents are
+        reconstructed from the immutable blobs (deterministic
+        compression ⇒ identical bytes and recency order), so a later
+        run — a supervised retry, or the next program on this cluster —
+        starts from exactly the cache state a single-process run would
+        have.  Keeps cross-run metering executor-independent.
+        """
+        for server in self.cluster.servers:
+            content = self._worker_content.get(server.server_id)
+            if content is None:
+                continue
+            cache_keys, decoded_keys = content
+            if server.cache is not None and cache_keys is not None:
+                server.cache.rebuild_content(
+                    (name, server.disk.peek(name)) for name in cache_keys
+                )
+            if server.decoded_cache is not None and decoded_keys is not None:
+                items = []
+                for name in decoded_keys:
+                    data = server.disk.peek(name)
+                    items.append((name, Tile.from_bytes(data), len(data)))
+                server.decoded_cache.rebuild_content(items)
+        self._worker_content = {}
+        self._run_program = None
 
     # ------------------------------------------------------------------
     # Per-server superstep work (executor-mapped; see repro.runtime)
@@ -698,20 +1175,26 @@ class MPE:
     def _apply_server_step(
         self,
         server,
-        all_updates: list[tuple[np.ndarray, np.ndarray]],
+        own_update: tuple[np.ndarray, np.ndarray],
+        inbox: list[tuple[int, bytes]],
     ) -> None:
-        """One server's barrier work: apply own + received updates."""
+        """One server's barrier work: apply own + received updates.
+
+        ``inbox`` is the drained mailbox as ``(sender id, payload
+        bytes)`` pairs — a picklable shape, so the process executor
+        ships the same argument the thread executor passes in-memory.
+        """
         cfg = self.config
         store = server.state["store"]
-        own_ids, own_vals = all_updates[server.server_id]
+        own_ids, own_vals = own_update
         store.write(own_ids, own_vals)
-        for envelope in self.channel.receive_all(server.server_id):
-            payload = decode_update(envelope.payload)
-            sender_targets = self._server_target_ids[envelope.src]
+        for src, payload_bytes in inbox:
+            payload = decode_update(payload_bytes)
+            sender_targets = self._server_target_ids[src]
             store.write(sender_targets[payload.ids], payload.values)
             if cfg.message_codec != "raw":
                 server.counters.add_decompressed(
-                    cfg.message_codec, len(envelope.payload)
+                    cfg.message_codec, len(payload_bytes)
                 )
 
     def _collect_values(self, cfg, servers, init_values) -> np.ndarray:
@@ -742,6 +1225,35 @@ class _ServerStep:
     sort_fallbacks: int
 
 
+@dataclass
+class _ProcessStep:
+    """A worker's compute-phase result, shaped for cheap pickling.
+
+    Carries the :class:`_ServerStep` fields plus everything the parent
+    needs to keep its counter and cache mirrors exact: a volumes-only
+    :class:`~repro.cluster.counters.Counters` delta, the
+    worker-authoritative memory gauges, absolute cache stat tuples, and
+    the caches' content-key lists (recency order) for end-of-run
+    resynchronisation.  No tile data, no store arrays — those stay in
+    shared memory.
+    """
+
+    ids: np.ndarray
+    vals: np.ndarray
+    payload: bytes | None
+    tiles_processed: int
+    tiles_skipped: int
+    sort_fallbacks: int
+    delta: "Counters"
+    mem_cache: int
+    mem_scratch: int
+    mem_peak: int
+    cache_stats: tuple | None
+    decoded_stats: tuple | None
+    cache_keys: tuple | None
+    decoded_keys: tuple | None
+
+
 def _parts_ascending(parts: list[np.ndarray]) -> bool:
     """Whether consecutive (internally sorted) id parts are strictly
     ascending and disjoint — i.e. their concatenation is sorted."""
@@ -751,64 +1263,19 @@ def _parts_ascending(parts: list[np.ndarray]) -> bool:
     return True
 
 
-def _snapshot(server) -> tuple:
-    """Freeze the counter fields that accumulate inside one superstep."""
-    c = server.counters
-    return (
-        c.net_sent,
-        c.disk_read,
-        c.edges_processed,
-        dict(c.decompressed),
-        dict(c.compressed),
-        c.net_recv,
-        c.disk_write,
-        c.messages_processed,
-        c.disk_read_random,
-        (
-            (server.cache.stats.hits, server.cache.stats.lookups)
-            if server.cache is not None
-            else (0, 0)
-        ),
-        c.fault_delay_s,
-    )
+def _snapshot(server) -> CounterSnapshot:
+    """Freeze the counter fields that accumulate inside one superstep.
+
+    Kept as a function (now returning :class:`CounterSnapshot`) because
+    the baseline engines import it; new code should use
+    ``CounterSnapshot.capture`` directly.
+    """
+    return CounterSnapshot.capture(server)
 
 
-def _delta(server, snap: tuple):
+def _delta(server, snap: CounterSnapshot) -> Counters:
     """Counters object holding only this superstep's volumes."""
-    from repro.cluster.counters import Counters
-
-    (
-        net0,
-        disk0,
-        edges0,
-        decomp0,
-        comp0,
-        recv0,
-        dwrite0,
-        msgs0,
-        rand0,
-        _cache0,
-        fault0,
-    ) = snap
-    c = server.counters
-    d = Counters()
-    d.net_sent = c.net_sent - net0
-    d.net_recv = c.net_recv - recv0
-    d.disk_read = c.disk_read - disk0
-    d.disk_read_random = c.disk_read_random - rand0
-    d.disk_write = c.disk_write - dwrite0
-    d.edges_processed = c.edges_processed - edges0
-    d.messages_processed = c.messages_processed - msgs0
-    d.fault_delay_s = c.fault_delay_s - fault0
-    for codec, n in c.decompressed.items():
-        prev = decomp0.get(codec, 0)
-        if n > prev:
-            d.add_decompressed(codec, n - prev)
-    for codec, n in c.compressed.items():
-        prev = comp0.get(codec, 0)
-        if n > prev:
-            d.add_compressed(codec, n - prev)
-    return d
+    return snap.delta(server)
 
 
 def _process_tile(

@@ -12,6 +12,14 @@ so both replication policies are real, runnable implementations:
   trade-off Eq. 3 charges and Figure 6a plots.
 
 Both stores expose identical semantics; the GAB engine is policy-blind.
+
+The ``Shared*`` subclasses place the same arrays in
+``multiprocessing.shared_memory`` segments (via
+:class:`repro.runtime.shm.SharedArray`) so the process executor's forked
+workers read and write vertex state zero-copy.  Indexing semantics are
+inherited unchanged, which is what makes process-parallel results
+bitwise identical to serial: the bytes live elsewhere, the arithmetic is
+the same.
 """
 
 from __future__ import annotations
@@ -144,3 +152,72 @@ class OnDemandStore:
 
     def num_stored(self) -> int:
         return int(self._local_ids.size)
+
+
+class SharedVertexStore(AllInAllStore):
+    """AA store whose value/degree arrays live in shared memory.
+
+    Built in the parent before the worker pool forks; the worker owning
+    this server applies barrier writes directly into the segment, so the
+    parent's post-run collection (and checkpointing) sees them without
+    any result shipping.  ``degrees_shared`` lets all AA replicas of the
+    (read-only) degree array view one segment instead of N copies —
+    host-side dedup only, the modeled §IV-A memory accounting is
+    unchanged because ``memory_bytes`` reports the logical replica.
+    """
+
+    def __init__(
+        self,
+        init_values: np.ndarray,
+        out_degrees: np.ndarray | None,
+        degrees_shared=None,
+    ) -> None:
+        from repro.runtime.shm import SharedArray
+
+        super().__init__(init_values, out_degrees)
+        self._owned = [SharedArray.from_array(self._values)]
+        self._values = self._owned[0].array
+        if degrees_shared is not None:
+            self._out_degrees = degrees_shared.array
+        elif self._out_degrees is not None:
+            self._owned.append(SharedArray.from_array(self._out_degrees))
+            self._out_degrees = self._owned[-1].array
+
+    def release(self) -> None:
+        """Drop views and unlink owned segments (parent only; borrowed
+        degree segments are released by their creator)."""
+        self._values = None
+        self._out_degrees = None
+        for sh in self._owned:
+            sh.release()
+        self._owned = []
+
+
+class SharedOnDemandStore(OnDemandStore):
+    """OD store whose value/degree subsets live in shared memory.
+
+    ``_local_ids`` stays a private array — it is read-only after
+    construction and forked workers inherit it copy-on-write for free.
+    """
+
+    def __init__(
+        self,
+        init_values: np.ndarray,
+        out_degrees: np.ndarray | None,
+        local_ids: np.ndarray,
+    ) -> None:
+        from repro.runtime.shm import SharedArray
+
+        super().__init__(init_values, out_degrees, local_ids)
+        self._owned = [SharedArray.from_array(self._values)]
+        self._values = self._owned[0].array
+        if self._out_degrees is not None:
+            self._owned.append(SharedArray.from_array(self._out_degrees))
+            self._out_degrees = self._owned[-1].array
+
+    def release(self) -> None:
+        self._values = None
+        self._out_degrees = None
+        for sh in self._owned:
+            sh.release()
+        self._owned = []

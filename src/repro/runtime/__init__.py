@@ -2,8 +2,9 @@
 
 The cost model decides what a superstep *would* take on the paper's
 testbed; this package decides how fast the simulation itself runs on the
-host — serial (reference) or thread-parallel across simulated servers.
-Metering and results are executor-independent by construction.
+host — serial (reference), thread-parallel, or process-parallel with
+shared-memory vertex state.  Metering and results are
+executor-independent by construction.
 """
 
 from repro.runtime.executor import (
@@ -13,11 +14,26 @@ from repro.runtime.executor import (
     default_num_threads,
     make_executor,
 )
+from repro.runtime.process import ProcessExecutor, default_num_workers
+from repro.runtime.shm import (
+    ArenaDisk,
+    SharedArray,
+    SharedBlobArena,
+    outstanding_segments,
+    process_runtime_available,
+)
 
 __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ProcessExecutor",
+    "SharedArray",
+    "SharedBlobArena",
+    "ArenaDisk",
     "make_executor",
     "default_num_threads",
+    "default_num_workers",
+    "outstanding_segments",
+    "process_runtime_available",
 ]

@@ -124,12 +124,23 @@ _EXECUTORS = {
 
 
 def make_executor(name: str, num_threads: int | None = None) -> Executor:
-    """Build an executor by registry name (``"serial"`` / ``"parallel"``)."""
+    """Build an executor by registry name
+    (``"serial"`` / ``"parallel"`` / ``"process"``).
+
+    For ``"process"`` the ``num_threads`` argument is the worker-process
+    count; the pool is returned unstarted (the engine forks it once its
+    shared state is built — see :class:`repro.runtime.process.ProcessExecutor`).
+    """
+    if name == "process":
+        from repro.runtime.process import ProcessExecutor
+
+        return ProcessExecutor(num_threads)
     try:
         cls = _EXECUTORS[name]
     except KeyError:
         raise ValueError(
-            f"unknown executor {name!r}; expected one of {sorted(_EXECUTORS)}"
+            f"unknown executor {name!r}; expected one of "
+            f"{sorted([*_EXECUTORS, 'process'])}"
         ) from None
     if cls is ParallelExecutor:
         return ParallelExecutor(num_threads)

@@ -192,6 +192,30 @@ class EdgeCache:
         self.put(key, data)
         return data
 
+    def content_keys(self) -> list[str]:
+        """Entry keys in recency order (least recent first).
+
+        Contents are a pure function of the admitted-key sequence (blobs
+        are immutable, compression is deterministic), so this list is a
+        complete content fingerprint — what the process runtime ships
+        from worker to parent to resynchronise the parent's mirror.
+        """
+        return list(self._entries)
+
+    def rebuild_content(self, items) -> None:
+        """Replace contents from ``(key, uncompressed blob)`` pairs.
+
+        Stats are untouched (they are mirrored separately); the stored
+        bytes and recency order come out exactly as if the same ``put``
+        sequence had run here.
+        """
+        self._entries = OrderedDict()
+        self._used = 0
+        for key, data in items:
+            blob = self.codec.compress(data)
+            self._entries[key] = blob
+            self._used += len(blob)
+
     def clear(self) -> None:
         """Drop every entry (stats retained)."""
         self._entries.clear()
@@ -296,6 +320,18 @@ class DecodedTileCache:
         """Drop one entry (blob rewritten → decoded views are stale)."""
         if self._entries.pop(key, None) is not None:
             self.stats.invalidations += 1
+
+    def content_keys(self) -> list[str]:
+        """Entry keys in recency order (least recent first) — see
+        :meth:`EdgeCache.content_keys`."""
+        return list(self._entries)
+
+    def rebuild_content(self, items) -> None:
+        """Replace contents from ``(key, decoded object, uncompressed
+        length)`` triples, stats untouched."""
+        self._entries = OrderedDict(
+            (key, (obj, int(n))) for key, obj, n in items
+        )
 
     def clear(self) -> None:
         """Drop every entry (stats retained)."""

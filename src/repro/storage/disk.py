@@ -44,6 +44,11 @@ class LocalDisk:
         self.read_ops += 1
         return data
 
+    def peek(self, name: str) -> bytes:
+        """Unmetered read for host-side plumbing (shared-memory blob
+        placement, cache resync) — never for simulated I/O."""
+        return self._path(name).read_bytes()
+
     def exists(self, name: str) -> bool:
         """Whether a blob is present."""
         return self._path(name).exists()

@@ -1,0 +1,20 @@
+"""Shared fixtures: shared-memory hygiene for the process runtime.
+
+Every test runs under a leak tripwire — any ``SharedArray`` segment
+still registered after a test means some ``MPE.run`` path skipped its
+cleanup (the acceptance criterion for the process executor is that
+*every* exit path, including injected faults and mid-run errors, unlinks
+its segments).
+"""
+
+import pytest
+
+from repro.runtime import outstanding_segments
+
+
+@pytest.fixture(autouse=True)
+def _no_shared_memory_leaks():
+    before = set(outstanding_segments())
+    yield
+    leaked = [name for name in outstanding_segments() if name not in before]
+    assert not leaked, f"leaked shared-memory segments: {leaked}"

@@ -247,6 +247,76 @@ class TestChaosDeterminism:
         assert report.restarts == 2
 
 
+class TestProcessExecutorChaos:
+    """The process runtime under injected faults: the pool is torn down
+    cleanly on abort paths and supervised retries (each with a fresh
+    fork) still reconverge to the fault-free values."""
+
+    CHAOS = FaultSchedule(
+        [
+            FaultEvent(CRASH, superstep=5, server=1),
+            FaultEvent(STRAGGLER, superstep=2, server=0, slow_factor=5.0),
+            FaultEvent(MSG_DROP, superstep=3, server=2),
+        ]
+    )
+
+    @pytest.fixture(autouse=True)
+    def _needs_fork(self):
+        from repro.runtime import process_runtime_available
+
+        if not process_runtime_available():
+            pytest.skip("platform lacks fork + POSIX shared memory")
+
+    def test_crash_straggler_drop_reconverge(self, graph, clean):
+        import multiprocessing
+
+        from repro.runtime import outstanding_segments
+
+        clean_values, _ = clean
+        values, report = _supervised(
+            graph, self.CHAOS, executor="process"
+        )
+        assert np.array_equal(values, clean_values)
+        assert report.converged
+        assert report.restarts == 2  # crash + dropped broadcast
+        # 1 crash + 1 straggler + 3 drops (one per broadcast destination)
+        assert report.faults_injected == 5
+        assert report.fault_delay_s > 0  # the straggler is charged
+        # Clean shutdown: no worker survives an aborted attempt, and no
+        # shared segment outlives its run.
+        assert not any(
+            p.name.startswith("repro-superstep")
+            for p in multiprocessing.active_children()
+        )
+        assert outstanding_segments() == []
+
+    def test_transient_disk_error_under_process(self, graph, clean):
+        """DISK_ERROR is resolved in the parent pre-dispatch: retries
+        and backoff are charged without restarting."""
+        clean_values, _ = clean
+        schedule = FaultSchedule(
+            [FaultEvent(DISK_ERROR, superstep=1, server=0, retries=2)]
+        )
+        values, report = _supervised(graph, schedule, executor="process")
+        assert np.array_equal(values, clean_values)
+        assert report.restarts == 0
+        assert report.fault_retries == 2
+        assert report.faults_injected == 1
+
+    def test_matches_serial_supervision_report(self, graph):
+        """Executor-invariant report fields agree with a serial run of
+        the same schedule (aborted-attempt work is executor-dependent —
+        serial computes pre-crash servers before aborting, the process
+        runtime resolves the crash before dispatch)."""
+        _, serial_report = _supervised(graph, self.CHAOS, executor="serial")
+        _, process_report = _supervised(graph, self.CHAOS, executor="process")
+        a = serial_report.to_dict()
+        b = process_report.to_dict()
+        a.pop("aborted_attempt_edges")
+        b.pop("aborted_attempt_edges")
+        assert a == b
+
+
 # ----------------------------------------------------------------------
 # Individual fault classes
 # ----------------------------------------------------------------------

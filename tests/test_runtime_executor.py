@@ -6,6 +6,8 @@ modeled costs, same message modes.  These tests pin that contract for
 all three reference apps, plus the executor primitives themselves.
 """
 
+import multiprocessing
+import os
 import threading
 import time
 
@@ -18,10 +20,25 @@ from repro.core import MPEConfig
 from repro.graph import chung_lu_graph
 from repro.runtime import (
     ParallelExecutor,
+    ProcessExecutor,
     SerialExecutor,
     default_num_threads,
+    default_num_workers,
     make_executor,
+    outstanding_segments,
+    process_runtime_available,
 )
+
+needs_process = pytest.mark.skipif(
+    not process_runtime_available(),
+    reason="platform lacks fork + POSIX shared memory",
+)
+
+
+def _expected_executor(configured: str) -> str:
+    """What RunResult.executor should report: the configured executor,
+    unless the REPRO_EXECUTOR forcing flag (CI's knob) overrides it."""
+    return os.environ.get("REPRO_EXECUTOR", "").strip() or configured
 
 
 class TestExecutorPrimitives:
@@ -305,7 +322,7 @@ class TestRuntimeTelemetry:
             max_supersteps=8,
         )
         rt = result.runtime()
-        assert rt["executor"] == "parallel"
+        assert rt["executor"] == _expected_executor("parallel")
         assert rt["sort_fallbacks"] == 0
         # First superstep decodes every blob (misses); later supersteps
         # hit the decoded cache.
@@ -328,7 +345,191 @@ class TestRuntimeTelemetry:
         )
         assert result.runtime()["decoded_cache_hits"] == 0
         assert result.runtime()["decoded_cache_misses"] == 0
-        assert result.runtime()["executor"] == "serial"
+        assert result.runtime()["executor"] == _expected_executor("serial")
+
+
+def _phase_handler(tag, server_id, payload):
+    """Trivial phase handler for the primitive tests (fork-inherited)."""
+    if payload == "boom":
+        raise RuntimeError("tile exploded")
+    return (tag, server_id, payload * 2)
+
+
+@needs_process
+class TestProcessExecutorPrimitives:
+    def test_run_phase_routes_and_orders(self):
+        ex = ProcessExecutor(num_workers=2)
+        assert not ex.started
+        ex.start(_phase_handler, 5)
+        assert ex.started
+        try:
+            out = ex.run_phase("compute", [1, 2, 3, 4, 5])
+            assert out == [
+                ("compute", 0, 2),
+                ("compute", 1, 4),
+                ("compute", 2, 6),
+                ("compute", 3, 8),
+                ("compute", 4, 10),
+            ]
+            # The pool is persistent: a second phase reuses the workers.
+            assert ex.run_phase("apply", [0, 0, 0, 0, 0]) == [
+                ("apply", i, 0) for i in range(5)
+            ]
+        finally:
+            ex.close()
+
+    def test_worker_exception_propagates_and_pool_survives(self):
+        ex = ProcessExecutor(num_workers=2)
+        ex.start(_phase_handler, 3)
+        try:
+            with pytest.raises(RuntimeError, match="tile exploded"):
+                ex.run_phase("compute", [1, "boom", 3])
+            # The failing worker kept serving; the pool is still usable.
+            assert ex.run_phase("compute", [1, 1, 1]) == [
+                ("compute", 0, 2),
+                ("compute", 1, 2),
+                ("compute", 2, 2),
+            ]
+        finally:
+            ex.close()
+
+    def test_close_is_idempotent_and_reaps_children(self):
+        ex = ProcessExecutor(num_workers=2)
+        ex.start(_phase_handler, 2)
+        ex.close()
+        ex.close()
+        assert not ex.started
+        assert not any(
+            p.name.startswith("repro-superstep")
+            for p in multiprocessing.active_children()
+        )
+        with pytest.raises(RuntimeError, match="not started"):
+            ex.run_phase("compute", [])
+
+    def test_map_unsupported_and_validation(self):
+        ex = ProcessExecutor(num_workers=1)
+        with pytest.raises(RuntimeError, match="run_phase"):
+            ex.map(lambda x: x, [1])
+        with pytest.raises(ValueError):
+            ProcessExecutor(num_workers=0)
+        assert default_num_workers() >= 1
+        made = make_executor("process", 3)
+        assert isinstance(made, ProcessExecutor) and made.num_workers == 3
+
+    def test_payload_count_must_match(self):
+        ex = ProcessExecutor(num_workers=1)
+        ex.start(_phase_handler, 2)
+        try:
+            with pytest.raises(ValueError, match="payload count"):
+                ex.run_phase("compute", [1])
+        finally:
+            ex.close()
+
+
+@needs_process
+class TestProcessBitwiseIdentity:
+    """Satellite 3: the process executor must be bitwise identical to
+    serial — values, per-superstep update counts (the prev_updated sets
+    driving bloom skips), and every counter — across both replication
+    policies and all three comm modes."""
+
+    @pytest.mark.parametrize("policy", ["aa", "od"])
+    @pytest.mark.parametrize("comm", ["dense", "sparse", "hybrid"])
+    def test_sweep(self, skewed, policy, comm):
+        def cfg(executor):
+            return MPEConfig(
+                executor=executor,
+                num_workers=2,
+                replication_policy=policy,
+                comm_mode=comm,
+                use_bloom_filters=True,
+            )
+
+        serial = _run(skewed, PageRank(), cfg("serial"), max_supersteps=10)
+        process = _run(skewed, PageRank(), cfg("process"), max_supersteps=10)
+        _assert_identical(serial, process)
+        # prev_updated is pinned by the per-superstep update counts plus
+        # the bloom-skip counts already compared in _assert_identical.
+        assert [s.updated_vertices for s in serial[0].supersteps] == [
+            s.updated_vertices for s in process[0].supersteps
+        ]
+        assert process[0].executor == _expected_executor("process")
+
+    def test_wcc_and_sssp_under_process(self, skewed):
+        und = skewed.to_undirected_edges()
+        _assert_identical(
+            _run(und, WCC(), MPEConfig(executor="serial"), max_supersteps=10),
+            _run(
+                und,
+                WCC(),
+                MPEConfig(executor="process", num_workers=2),
+                max_supersteps=10,
+            ),
+        )
+        _assert_identical(
+            _run(
+                skewed, SSSP(source=1), MPEConfig(executor="serial"),
+                max_supersteps=12,
+            ),
+            _run(
+                skewed,
+                SSSP(source=1),
+                MPEConfig(executor="process", num_workers=2),
+                max_supersteps=12,
+            ),
+        )
+
+    def test_no_shared_memory_leaks(self, skewed):
+        _run(
+            skewed,
+            PageRank(),
+            MPEConfig(executor="process", num_workers=2),
+            max_supersteps=6,
+        )
+        assert outstanding_segments() == []
+        assert not any(
+            p.name.startswith("repro-superstep")
+            for p in multiprocessing.active_children()
+        )
+
+
+class TestExecutorResolution:
+    """REPRO_EXECUTOR forcing and the no-fork fallback path."""
+
+    def test_env_override_wins(self, skewed, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "serial")
+        result, _ = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(executor="parallel", num_threads=2),
+            max_supersteps=4,
+        )
+        assert result.executor == "serial"
+
+    def test_env_override_rejects_unknown(self, skewed, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "quantum")
+        with pytest.raises(ValueError, match="unknown executor"):
+            _run(skewed, PageRank(), MPEConfig(), max_supersteps=2)
+
+    def test_process_falls_back_without_fork(self, skewed, monkeypatch):
+        import repro.core.mpe as mpe_mod
+
+        monkeypatch.setattr(
+            mpe_mod, "process_runtime_available", lambda: False
+        )
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            result, _ = _run(
+                skewed,
+                PageRank(),
+                MPEConfig(executor="process"),
+                max_supersteps=4,
+            )
+        assert result.executor == "parallel"
+
+    def test_num_workers_validation(self):
+        with pytest.raises(ValueError):
+            MPEConfig(num_workers=0)
+        assert MPEConfig(num_workers=None).num_workers is None
 
 
 class TestSortSkip:
