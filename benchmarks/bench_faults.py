@@ -35,15 +35,11 @@ Emits ``BENCH_faults.json`` at the repository root by default.
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import sys
-import time
-from pathlib import Path
 
 import numpy as np
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+from _common import REPO_ROOT, base_report, write_report
 
 DATASET = "uk2007-s"
 NUM_SERVERS = 4
@@ -160,22 +156,19 @@ def main() -> int:
         f"modeled {baseline_modeled:.3f}s (no checkpoints, no faults)"
     )
 
-    report = {
-        "benchmark": "faults",
-        "dataset": DATASET,
-        "tier": tier,
-        "program": "pagerank",
-        "num_servers": NUM_SERVERS,
-        "crash_at": crash_at,
-        "crash_server": CRASH_SERVER,
-        "baseline": {
+    report = base_report(
+        "faults",
+        dataset=DATASET,
+        tier=tier,
+        program="pagerank",
+        num_servers=NUM_SERVERS,
+        crash_at=crash_at,
+        crash_server=CRASH_SERVER,
+        baseline={
             "supersteps": supersteps,
             "modeled_job_s": baseline_modeled,
         },
-        "host": {"cpu_count": os.cpu_count()},
-        "generated_unix": time.time(),
-        "results": [],
-    }
+    )
 
     for k in intervals:
         values, row = run_chaos(graph, k, crash_at, max_supersteps)
@@ -200,10 +193,7 @@ def main() -> int:
             f"({row['recovery_overhead_pct']:.1f}%)"
         )
 
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    write_report(report, args.out)
     return 0
 
 

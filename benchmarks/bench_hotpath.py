@@ -49,12 +49,11 @@ import json
 import os
 import subprocess
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+from _common import REPO_ROOT, base_report, write_report
 
 SUPERSTEPS = 8
 DATASET = "uk2007-s"
@@ -239,33 +238,17 @@ def main() -> int:
     supersteps = 4 if args.smoke else SUPERSTEPS
     repeats = 1 if args.smoke else args.repeats
 
-    from repro.runtime import (
-        default_num_threads,
-        default_num_workers,
-        process_runtime_available,
-    )
+    from repro.runtime import process_runtime_available
 
-    report = {
-        "benchmark": benchmark,
-        "dataset": DATASET,
-        "tier": tier,
-        "program": "pagerank(tolerance=0)",
-        "supersteps": supersteps,
-        "repeats": repeats,
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "parallel_threads": default_num_threads(),
-            "process_workers": default_num_workers(),
-            "process_runtime_available": process_runtime_available(),
-        },
-        "generated_unix": time.time(),
-        "results": [],
-    }
-    if (os.cpu_count() or 1) == 1:
-        report["host"]["warning"] = (
-            "1-core host: parallel/process rows measure pool overhead, "
-            "not speedup"
-        )
+    report = base_report(
+        benchmark,
+        dataset=DATASET,
+        tier=tier,
+        program="pagerank(tolerance=0)",
+        runtime_host=True,
+        supersteps=supersteps,
+        repeats=repeats,
+    )
 
     for num_servers in server_counts:
         reference_values = None
@@ -315,10 +298,7 @@ def main() -> int:
                 f"{base['steps_total_s']:.3f}s → speedup {speedup:.2f}x"
             )
 
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    write_report(report, args.out)
     return 0
 
 

@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Regression gate: fresh bench runs vs the committed ``BENCH_*.json``.
+
+Re-runs the JSON-emitting benches (``bench_hotpath.py``, its
+``--sweep`` mode, ``bench_faults.py``) at the *baseline's own tier* and
+compares row by row:
+
+* **Wall-clock rows** (hotpath / procpool): fail when a fresh row's
+  ``supersteps_per_s`` is more than ``--threshold`` (default 25%)
+  slower than the committed baseline.  A row is only compared when its
+  recorded host metadata — executor kind, worker width, effective
+  parallelism — matches the baseline's, so a 1-core container never
+  "regresses" against a multi-core recording (or vice versa); mismatched
+  rows are reported as skipped, not failed.
+* **Deterministic rows** (faults): re-executed supersteps, recovery
+  bytes, checkpoint counts/bytes, restarts, and the modeled job seconds
+  are executor- and host-invariant, so they must match the baseline
+  *exactly*.  Any drift is a correctness regression, whatever its sign.
+
+``--report-only`` prints the same comparison but always exits 0 — CI's
+mode on shared runners, where wall-clock noise is expected; the table
+in the job log is the artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regress.py               # gate
+    PYTHONPATH=src python benchmarks/check_regress.py --report-only # CI
+    PYTHONPATH=src python benchmarks/check_regress.py --benchmark faults
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from _common import REPO_ROOT
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+# benchmark name → (baseline file, bench script argv, row-match keys,
+# deterministic compare?).
+BENCHMARKS = {
+    "hotpath": (
+        "BENCH_hotpath.json",
+        ["bench_hotpath.py"],
+        ("config", "num_servers"),
+        False,
+    ),
+    "procpool": (
+        "BENCH_procpool.json",
+        ["bench_hotpath.py", "--sweep"],
+        ("config", "num_servers"),
+        False,
+    ),
+    "faults": (
+        "BENCH_faults.json",
+        ["bench_faults.py"],
+        ("checkpoint_every",),
+        True,
+    ),
+}
+
+# Host metadata that must agree before a wall-clock comparison means
+# anything (the 1-core tolerance of the satellite spec).
+_META_KEYS = ("executor", "worker_width", "effective_parallelism")
+
+# Executor-invariant fields compared exactly for deterministic benches.
+_EXACT_KEYS = (
+    "restarts",
+    "reexecuted_supersteps",
+    "resume_superstep",
+    "recovery_read_bytes",
+    "checkpoint_files",
+    "checkpoint_bytes",
+    "modeled_job_s",
+    "converged",
+)
+
+
+def _run_fresh(script_args: list[str], out_path: str, tier: str) -> dict:
+    argv = [
+        sys.executable,
+        str(BENCH_DIR / script_args[0]),
+        *script_args[1:],
+        "--tier",
+        tier,
+        "--out",
+        out_path,
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(argv, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"fresh bench run failed ({' '.join(script_args)}):\n"
+            f"{proc.stderr.strip() or proc.stdout.strip()}"
+        )
+    with open(out_path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _index(rows: list[dict], keys: tuple[str, ...]) -> dict[tuple, dict]:
+    return {tuple(row.get(k) for k in keys): row for row in rows}
+
+
+def compare(
+    name: str, baseline: dict, fresh: dict, threshold: float
+) -> tuple[list[str], list[str]]:
+    """Compare one benchmark's reports → (failures, notes)."""
+    _file, _argv, keys, deterministic = BENCHMARKS[name]
+    failures: list[str] = []
+    notes: list[str] = []
+    base_rows = _index(baseline.get("results", []), keys)
+    fresh_rows = _index(fresh.get("results", []), keys)
+
+    for key, base in sorted(base_rows.items(), key=lambda kv: str(kv[0])):
+        label = f"{name} {dict(zip(keys, key))}"
+        row = fresh_rows.get(key)
+        if row is None:
+            notes.append(f"SKIP {label}: no fresh row (config unavailable here)")
+            continue
+        if deterministic:
+            mismatched = [
+                field
+                for field in _EXACT_KEYS
+                if field in base and base[field] != row.get(field)
+            ]
+            for field in mismatched:
+                failures.append(
+                    f"FAIL {label}: {field} changed "
+                    f"{base[field]!r} -> {row.get(field)!r} "
+                    "(deterministic metric; must match exactly)"
+                )
+            if not mismatched:
+                notes.append(
+                    f"OK   {label}: all {len(_EXACT_KEYS)} deterministic "
+                    "metrics match exactly"
+                )
+            continue
+        meta_base = tuple(base.get(k) for k in _META_KEYS)
+        meta_fresh = tuple(row.get(k) for k in _META_KEYS)
+        if meta_base != meta_fresh:
+            notes.append(
+                f"SKIP {label}: host metadata differs "
+                f"(baseline {meta_base} vs fresh {meta_fresh}) — "
+                "wall-clock not comparable"
+            )
+            continue
+        base_rate = base.get("supersteps_per_s") or 0.0
+        fresh_rate = row.get("supersteps_per_s") or 0.0
+        if not base_rate or not fresh_rate:
+            notes.append(f"SKIP {label}: missing supersteps_per_s")
+            continue
+        ratio = fresh_rate / base_rate
+        verdict = f"{label}: {fresh_rate:.1f} vs {base_rate:.1f} steps/s ({ratio:.2f}x)"
+        if ratio < 1.0 - threshold:
+            failures.append(f"FAIL {verdict} — slower than the {threshold:.0%} gate")
+        else:
+            notes.append(f"OK   {verdict}")
+
+    for key in fresh_rows:
+        if key not in base_rows:
+            notes.append(
+                f"NOTE {name} {dict(zip(keys, key))}: fresh-only row "
+                "(no baseline to compare)"
+            )
+    return failures, notes
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--benchmark",
+        action="append",
+        choices=sorted(BENCHMARKS),
+        default=None,
+        help="which benches to check (default: every baseline present)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown for wall-clock rows (default 0.25)",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the comparison but always exit 0 (CI on noisy runners)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(REPO_ROOT),
+        help="directory holding the committed BENCH_*.json files",
+    )
+    args = parser.parse_args()
+
+    selected = args.benchmark or sorted(BENCHMARKS)
+    all_failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="check-regress-") as tmp:
+        for name in selected:
+            baseline_file, script_args, _keys, _det = BENCHMARKS[name]
+            baseline_path = Path(args.baseline_dir) / baseline_file
+            if not baseline_path.exists():
+                print(f"SKIP {name}: no baseline at {baseline_path}")
+                continue
+            with open(baseline_path, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+            tier = baseline.get("tier", "bench")
+            print(f"== {name}: fresh {tier}-tier run vs {baseline_file} ==")
+            fresh = _run_fresh(
+                script_args, str(Path(tmp) / f"{name}.json"), tier
+            )
+            failures, notes = compare(name, baseline, fresh, args.threshold)
+            for line in notes:
+                print(f"  {line}")
+            for line in failures:
+                print(f"  {line}")
+            all_failures.extend(failures)
+
+    if all_failures:
+        print(
+            f"{len(all_failures)} regression(s) against committed baselines",
+            file=sys.stderr,
+        )
+        if args.report_only:
+            print("(--report-only: exiting 0 anyway)", file=sys.stderr)
+            return 0
+        return 1
+    print("no regressions against committed baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,6 +94,7 @@ def run_graphh(
     config: MPEConfig | None = None,
     max_supersteps: int = 21,
     avg_tile_edges: int | None = None,
+    tracer=None,
 ) -> tuple[RunResult, Cluster]:
     """Run GraphH end-to-end; caller must ``cluster.close()``."""
     cluster = Cluster(ClusterSpec(num_servers=num_servers))
@@ -106,7 +107,7 @@ def run_graphh(
     from dataclasses import replace as dc_replace
 
     cfg = dc_replace(config or MPEConfig(), max_supersteps=max_supersteps)
-    mpe = MPE(cluster, manifest, cfg)
+    mpe = MPE(cluster, manifest, cfg, tracer=tracer)
     result = mpe.run(program)
     return result, cluster
 

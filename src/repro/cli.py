@@ -84,6 +84,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="process-pool width for --executor process "
         "(default: one per core, capped)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="JSON",
+        help="record an execution trace (repro.obs) and write it here "
+        "as Chrome trace-event JSON (Perfetto / chrome://tracing)",
+    )
 
 
 def _load(path: str) -> Graph:
@@ -150,7 +157,10 @@ def _run(graph: Graph, program, args):
         num_workers=args.num_workers,
     )
     with GraphH(
-        num_servers=args.servers, config=config, root=args.state_dir
+        num_servers=args.servers,
+        config=config,
+        root=args.state_dir,
+        trace_out=args.trace_out,
     ) as gh:
         gh.load_graph(
             graph,
@@ -162,6 +172,11 @@ def _run(graph: Graph, program, args):
             f"{program.name}: {result.num_supersteps} supersteps, "
             f"converged={result.converged}"
         )
+        if args.trace_out:
+            print(
+                f"wrote Chrome trace ({gh.tracer.total_events} events) "
+                f"to {args.trace_out}"
+            )
         if result.supersteps and result.supersteps[0].superstep > 0:
             print(
                 f"resumed from checkpoint at superstep "
@@ -221,7 +236,10 @@ def cmd_wcc(args) -> int:
         num_workers=args.num_workers,
     )
     with GraphH(
-        num_servers=args.servers, config=config, root=args.state_dir
+        num_servers=args.servers,
+        config=config,
+        root=args.state_dir,
+        trace_out=args.trace_out,
     ) as gh:
         gh.load_graph(
             graph,
@@ -229,6 +247,11 @@ def cmd_wcc(args) -> int:
             reuse=args.state_dir is not None,
         )
         labels = gh.wcc(resume=args.resume)
+        if args.trace_out:
+            print(
+                f"wrote Chrome trace ({gh.tracer.total_events} events) "
+                f"to {args.trace_out}"
+            )
         if args.state_dir:
             gh.cluster.dfs.save_namespace()
     components, sizes = np.unique(labels, return_counts=True)
@@ -355,6 +378,17 @@ def cmd_chaos(args) -> int:
                 json.dump(report.to_dict(), fh, indent=1)
             print(f"wrote recovery report to {args.report}")
 
+    if not report.converged:
+        # An unrecovered run (restart budget exhausted, or the superstep
+        # cap hit) must fail loudly — scripts and CI key off the exit
+        # code, not the report text.
+        print(
+            f"chaos: FAILED — run did not converge after "
+            f"{report.restarts} restart(s)",
+            file=sys.stderr,
+        )
+        return 1
+
     if args.verify:
         with Cluster(ClusterSpec(num_servers=args.servers)) as cluster:
             clean = _build(cluster).run(program)
@@ -364,6 +398,90 @@ def cmd_chaos(args) -> int:
             print("verify: FAILED — values differ from fault-free run")
             return 1
     _emit(result.values, args, descending=args.algorithm == "pagerank")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one algorithm fully observed and export the artifacts.
+
+    One traced run produces up to four artifacts — Chrome trace-event
+    JSON (``--out``), Prometheus metrics text (``--metrics-out``), a
+    per-superstep JSONL timeline (``--timeline-out``), and the run
+    report JSON (``--report-out``) — and always prints the Table-3
+    phase-breakdown table.  The emitted Chrome trace is validated
+    before this command reports success.
+    """
+    from repro.obs.export import (
+        validate_chrome_trace_file,
+        write_prometheus,
+        write_superstep_jsonl,
+    )
+    from repro.obs.report import (
+        build_run_report,
+        format_run_report,
+        save_run_report,
+    )
+
+    graph = _load(args.path)
+    if args.algorithm == "pagerank":
+        program = PageRank(damping=args.damping)
+    elif args.algorithm == "sssp":
+        program = SSSP(source=args.source)
+    elif args.algorithm == "bfs":
+        program = BFS(source=args.source)
+    else:
+        from repro.apps import WCC
+
+        graph = graph.to_undirected_edges()
+        program = WCC()
+
+    config = MPEConfig(executor=args.executor, num_workers=args.num_workers)
+    with GraphH(
+        num_servers=args.servers,
+        config=config,
+        trace=True,
+        trace_out=args.out,
+    ) as gh:
+        gh.load_graph(graph, avg_tile_edges=args.tile_edges)
+        result = gh.run(program)
+        report = build_run_report(
+            result,
+            gh.cluster,
+            dataset=gh.manifest.name,
+            program=program.name,
+            num_servers=args.servers,
+        )
+        if args.metrics_out:
+            write_prometheus(gh.tracer.metrics, args.metrics_out)
+            print(f"wrote Prometheus metrics to {args.metrics_out}")
+        if args.timeline_out:
+            rows = write_superstep_jsonl(result, args.timeline_out)
+            print(f"wrote {rows} timeline rows to {args.timeline_out}")
+        if args.report_out:
+            save_run_report(report, args.report_out)
+            print(f"wrote run report to {args.report_out}")
+        print(format_run_report(report))
+        if args.out:
+            problems = validate_chrome_trace_file(args.out)
+            if problems:
+                print(
+                    f"{args.out}: invalid Chrome trace:", file=sys.stderr
+                )
+                for problem in problems[:10]:
+                    print(f"  {problem}", file=sys.stderr)
+                return 1
+            print(
+                f"wrote Chrome trace ({gh.tracer.total_events} events, "
+                f"validated) to {args.out}"
+            )
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Print a saved run report as the Table-3-style table."""
+    from repro.obs.report import format_run_report, load_run_report
+
+    print(format_run_report(load_run_report(args.report), max_rows=args.max_rows))
     return 0
 
 
@@ -445,6 +563,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(w)
     w.set_defaults(func=cmd_wcc)
 
+    t = sub.add_parser(
+        "trace",
+        help="run one algorithm fully observed: Chrome trace, Prometheus "
+        "metrics, superstep timeline, Table-3 run report",
+    )
+    t.add_argument("algorithm", choices=("pagerank", "sssp", "bfs", "wcc"))
+    t.add_argument("path")
+    t.add_argument("--servers", type=int, default=4, help="cluster width")
+    t.add_argument("--tile-edges", type=int, default=None)
+    t.add_argument("--damping", type=float, default=0.85)
+    t.add_argument("--source", type=int, default=0)
+    t.add_argument(
+        "--executor",
+        choices=("serial", "parallel", "process"),
+        default="serial",
+    )
+    t.add_argument("--num-workers", type=int, default=None, metavar="K")
+    t.add_argument(
+        "--out", default=None, metavar="JSON",
+        help="Chrome trace-event JSON (validated after writing)",
+    )
+    t.add_argument("--metrics-out", default=None, metavar="PROM",
+                   help="Prometheus text exposition")
+    t.add_argument("--timeline-out", default=None, metavar="JSONL",
+                   help="per-superstep JSONL timeline")
+    t.add_argument("--report-out", default=None, metavar="JSON",
+                   help="run report JSON (read back by `repro report`)")
+    t.set_defaults(func=cmd_trace)
+
+    q = sub.add_parser(
+        "report", help="print a saved run report as a Table-3-style table"
+    )
+    q.add_argument("report", help="run report JSON from `repro trace --report-out`")
+    q.add_argument("--max-rows", type=int, default=40,
+                   help="elide the middle beyond this many superstep rows")
+    q.set_defaults(func=cmd_report)
+
     x = sub.add_parser("shootout", help="compare all systems on one input")
     x.add_argument("path")
     x.add_argument("--servers", type=int, default=4)
@@ -501,7 +656,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `repro report ... | head`) closed early;
+        # detach stdout so the interpreter's shutdown flush stays quiet.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

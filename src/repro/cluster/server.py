@@ -27,10 +27,15 @@ class Server:
         # Installed by repro.faults.FaultInjector.attach(); None in
         # normal runs.  Consulted on the tile-load path only.
         self.fault_injector: Any | None = None
+        # This server's repro.obs.trace.TraceBuffer, installed by the
+        # engine when tracing is on; None in normal runs.  Single-writer:
+        # only this server's executor thread / sticky worker records.
+        self.trace: Any | None = None
 
     def attach_cache(self, capacity_bytes: int, mode: int) -> EdgeCache:
         """Install an edge cache (replaces any existing one)."""
         self.cache = EdgeCache(capacity_bytes=capacity_bytes, mode=mode)
+        self.cache.trace = self.trace
         return self.cache
 
     def attach_decoded_cache(
@@ -38,6 +43,7 @@ class Server:
     ) -> DecodedTileCache:
         """Install a decoded-tile cache (replaces any existing one)."""
         self.decoded_cache = DecodedTileCache(max_entries=max_entries)
+        self.decoded_cache.trace = self.trace
         return self.decoded_cache
 
     def load_blob(self, name: str) -> bytes:
@@ -86,6 +92,17 @@ class Server:
         and charge retry costs here, before the cache lookup; fatal ones
         raise :class:`repro.faults.errors.DiskReadFault`.
         """
+        if self.trace is None:
+            return self._load_tile(name, parser)
+        self.trace.begin("load", "io", blob=name)
+        try:
+            return self._load_tile(name, parser)
+        finally:
+            self.trace.end()
+
+    def _load_tile(self, name: str, parser: Callable[[bytes], Any]) -> Any:
+        """:meth:`load_tile` body (split so the traced path can wrap it
+        in a span with exception-safe closing)."""
         if self.fault_injector is not None:
             self.fault_injector.on_tile_load(self, name)
         dcache = self.decoded_cache

@@ -37,6 +37,10 @@ class Channel:
         # Installed by repro.faults.FaultInjector.attach(); None in
         # normal runs.  May drop deliveries (lost broadcasts).
         self.fault_injector = None
+        # Message-size Histogram (repro.obs.metrics) installed by the
+        # engine when observability is on; observation only — metering
+        # is unchanged either way.
+        self.obs_bytes = None
 
     def _check(self, server_id: int) -> None:
         if not 0 <= server_id < len(self.servers):
@@ -62,6 +66,8 @@ class Channel:
             self.servers[src].counters.net_sent += len(payload)
             self.total_bytes += len(payload)
             self.total_messages += 1
+            if self.obs_bytes is not None:
+                self.obs_bytes.observe(len(payload))
             if not dropped:
                 self.servers[dst].counters.net_recv += len(payload)
         self.servers[src].counters.messages_sent += 1

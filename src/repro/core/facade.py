@@ -55,6 +55,17 @@ class GraphH:
     num_workers:
         Process-pool width for ``executor="process"``; overlays
         ``config`` when given.
+    trace:
+        ``True`` enables the observability subsystem (:mod:`repro.obs`):
+        every run records spans/instants into :attr:`tracer` and bridges
+        the cluster's counters into its metrics registry.  Off (the
+        default) nothing is recorded and the hot paths stay guard-only.
+        An existing :class:`repro.obs.trace.Tracer` may be passed
+        instead of ``True`` to share one collector across systems.
+    trace_out:
+        Path of a Chrome-trace-event JSON file (Perfetto /
+        ``chrome://tracing`` loadable) written after every :meth:`run`;
+        implies ``trace=True``.
     """
 
     def __init__(
@@ -65,6 +76,8 @@ class GraphH:
         root: str | None = None,
         executor: str | None = None,
         num_workers: int | None = None,
+        trace=False,
+        trace_out: str | None = None,
     ) -> None:
         self.spec = spec or ClusterSpec(num_servers=num_servers)
         self.cluster = Cluster(self.spec, root=root)
@@ -76,6 +89,12 @@ class GraphH:
             if num_workers is not None:
                 overrides["num_workers"] = num_workers
             self.config = dataclasses.replace(self.config, **overrides)
+        self.tracer = None
+        self.trace_out = trace_out
+        if trace or trace_out is not None:
+            from repro.obs.trace import Tracer
+
+            self.tracer = trace if isinstance(trace, Tracer) else Tracer()
         self.spe = SPE(self.cluster.dfs)
         self._manifest: TileManifest | None = None
         self._mpe: MPE | None = None
@@ -111,7 +130,9 @@ class GraphH:
                 )
             self._manifest = self.spe.preprocess(graph, avg_tile_edges, name)
         self._graph = graph
-        self._mpe = MPE(self.cluster, self._manifest, self.config)
+        self._mpe = MPE(
+            self.cluster, self._manifest, self.config, tracer=self.tracer
+        )
         return self._manifest
 
     @property
@@ -135,7 +156,28 @@ class GraphH:
         this (dataset, program) pair, when one exists (requires a
         config with ``checkpoint_every`` for snapshots to be written).
         """
-        return self.mpe.run(program, resume=resume)
+        result = self.mpe.run(program, resume=resume)
+        self._finish_trace(program)
+        return result
+
+    def _finish_trace(self, program: VertexProgram) -> None:
+        """Post-run observability: bridge counters, export Chrome JSON."""
+        if self.tracer is None:
+            return
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.metrics import bridge_cluster
+
+        bridge_cluster(self.tracer.metrics, self.cluster, self.mpe.channel)
+        if self.trace_out is not None:
+            write_chrome_trace(
+                self.tracer,
+                self.trace_out,
+                metadata={
+                    "program": program.name,
+                    "dataset": self.manifest.name,
+                    "num_servers": self.spec.num_servers,
+                },
+            )
 
     # ------------------------------------------------------------------
     def pagerank(self, damping: float = 0.85, tolerance: float = 1e-9) -> np.ndarray:
@@ -168,8 +210,24 @@ class GraphH:
             )
         else:
             manifest = self.spe.load_manifest(sym_name)
-        mpe = MPE(self.cluster, manifest, self.config)
-        return mpe.run(WCC(), resume=resume).values
+        mpe = MPE(self.cluster, manifest, self.config, tracer=self.tracer)
+        result = mpe.run(WCC(), resume=resume)
+        if self.tracer is not None:
+            from repro.obs.export import write_chrome_trace
+            from repro.obs.metrics import bridge_cluster
+
+            bridge_cluster(self.tracer.metrics, self.cluster, mpe.channel)
+            if self.trace_out is not None:
+                write_chrome_trace(
+                    self.tracer,
+                    self.trace_out,
+                    metadata={
+                        "program": "wcc",
+                        "dataset": sym_name,
+                        "num_servers": self.spec.num_servers,
+                    },
+                )
+        return result.values
 
     # ------------------------------------------------------------------
     def close(self) -> None:

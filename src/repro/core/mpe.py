@@ -234,11 +234,17 @@ class MPE:
         cluster: Cluster,
         manifest: TileManifest,
         config: MPEConfig | None = None,
+        tracer=None,
     ) -> None:
         self.cluster = cluster
         self.manifest = manifest
         self.config = config or MPEConfig()
         self.channel = Channel(cluster.servers)
+        # Optional repro.obs.trace.Tracer.  None (the default) is the
+        # zero-cost path: no buffers exist and every instrumentation
+        # site reduces to one is-None check.
+        self.tracer = tracer
+        self._obs_wall = None
         self.spe = SPE(cluster.dfs)
         self._tiles_fetched = False
         # Per-server: list of (tile_id, blob_name, nbytes); bloom filters.
@@ -266,6 +272,47 @@ class MPE:
         self._worker_content: dict[int, tuple] = {}
         self._worker_last: dict[int, tuple] = {}
         self._worker_hash_memo: tuple | None = None
+
+    # ------------------------------------------------------------------
+    # Observability wiring (repro.obs)
+    # ------------------------------------------------------------------
+    def _wire_tracer(self) -> None:
+        """Install (or remove) trace buffers and live instruments.
+
+        Called at the top of every :meth:`run`, before :meth:`setup`, so
+        caches attached during setup inherit their server's buffer and
+        setup's DFS reads land in the engine buffer.  With no tracer the
+        same pass resets every hook to ``None`` — a cluster previously
+        traced runs clean again.
+        """
+        tracer = self.tracer
+        for server in self.cluster.servers:
+            buf = tracer.server(server.server_id) if tracer is not None else None
+            server.trace = buf
+            if server.cache is not None:
+                server.cache.trace = buf
+            if server.decoded_cache is not None:
+                server.decoded_cache.trace = buf
+        self.cluster.dfs.trace = (
+            tracer.engine() if tracer is not None else None
+        )
+        if tracer is not None:
+            from repro.obs.metrics import (
+                DEFAULT_SECONDS_BUCKETS,
+            )
+
+            self.channel.obs_bytes = tracer.metrics.histogram(
+                "repro_channel_message_bytes",
+                "broadcast payload sizes",
+            ).labels()
+            self._obs_wall = tracer.metrics.histogram(
+                "repro_superstep_wall_seconds",
+                "host wall time per superstep",
+                buckets=DEFAULT_SECONDS_BUCKETS,
+            ).labels()
+        else:
+            self.channel.obs_bytes = None
+            self._obs_wall = None
 
     # ------------------------------------------------------------------
     # Setup: fetch tiles, build blooms, size caches
@@ -366,6 +413,14 @@ class MPE:
             write_checkpoint,
         )
 
+        self._wire_tracer()
+        ebuf = self.tracer.engine() if self.tracer is not None else None
+        if ebuf is not None:
+            # A previous attempt that aborted mid-superstep (supervised
+            # recovery) may have left engine spans open; close them so
+            # this attempt's run span is a sibling, not a child.
+            ebuf.close_to(0)
+            ebuf.begin("run", "run", program=program.name)
         self.setup()
         # A supervised retry may leave half-delivered broadcasts from an
         # aborted superstep behind; every run starts with clean mailboxes.
@@ -479,6 +534,8 @@ class MPE:
 
             for superstep in range(start_superstep, cfg.max_supersteps):
                 t0 = time.perf_counter()
+                if ebuf is not None:
+                    ebuf.begin("superstep", "superstep", superstep=superstep)
                 if self.injector is not None:
                     self.injector.begin_superstep(superstep)
                 before = {
@@ -496,6 +553,8 @@ class MPE:
                 # to serial.  Cross-server effects (broadcast delivery)
                 # are staged in the results and flushed below in
                 # server-id order, exactly like the serial schedule.
+                if ebuf is not None:
+                    ebuf.begin("compute", "phase")
                 if use_process:
                     steps = self._process_compute_phase(
                         executor, servers, superstep, prev_updated, num_vertices
@@ -521,6 +580,9 @@ class MPE:
                         ),
                         servers,
                     )
+                if ebuf is not None:
+                    ebuf.end()  # compute
+                    ebuf.begin("broadcast", "phase")
                 for server, step in zip(servers, steps):
                     tiles_processed += step.tiles_processed
                     tiles_skipped += step.tiles_skipped
@@ -529,6 +591,9 @@ class MPE:
                     if step.payload is not None:
                         message_modes.append(step.payload[0])
                         self.channel.broadcast(server.server_id, step.payload)
+                if ebuf is not None:
+                    ebuf.end()  # broadcast
+                    ebuf.begin("sync", "phase")
 
                 # ---- BSP barrier: detect lost broadcasts ---------------
                 # Every server expects N-1 envelopes; a dropped delivery
@@ -537,6 +602,9 @@ class MPE:
                 # supervisor can retry or restore deterministically.
                 if self.injector is not None:
                     self.injector.barrier_check()
+                if ebuf is not None:
+                    ebuf.end()  # sync
+                    ebuf.begin("apply", "phase")
 
                 # ---- BSP barrier: apply all updates everywhere ---------
                 # Also per-server-independent (own store, own mailbox,
@@ -552,9 +620,15 @@ class MPE:
                         ]
                         for s in servers
                     ]
-                    apply_deltas = executor.run_phase("apply", inboxes)
-                    for server, delta in zip(servers, apply_deltas):
+                    apply_results = executor.run_phase("apply", inboxes)
+                    for server, (delta, tr_events) in zip(
+                        servers, apply_results
+                    ):
                         server.counters.add_volumes(delta)
+                        if tr_events and self.tracer is not None:
+                            self.tracer.server(server.server_id).extend(
+                                tr_events
+                            )
                 else:
                     executor.map(
                         lambda server: self._apply_server_step(
@@ -569,6 +643,9 @@ class MPE:
                         ),
                         servers,
                     )
+                if ebuf is not None:
+                    ebuf.end()  # apply
+                    ebuf.begin("account", "phase")
                 updated_count = sum(ids.size for ids, _ in all_updates)
                 # Per-server update sets are sorted and disjoint (each
                 # server owns disjoint target ranges): a k-way merge
@@ -610,11 +687,17 @@ class MPE:
                         wall_s=time.perf_counter() - t0,
                     )
                 )
+                if self._obs_wall is not None:
+                    self._obs_wall.observe(reports[-1].wall_s)
+                if ebuf is not None:
+                    ebuf.end()  # account
                 if (
                     cfg.checkpoint_every is not None
                     and updated_count > 0
                     and (superstep + 1) % cfg.checkpoint_every == 0
                 ):
+                    if ebuf is not None:
+                        ebuf.begin("checkpoint", "io", superstep=superstep)
                     write_checkpoint(
                         self.cluster.dfs,
                         self.manifest.name,
@@ -623,6 +706,12 @@ class MPE:
                         self._collect_values(cfg, servers, init_values),
                         prev_updated,
                     )
+                    if ebuf is not None:
+                        ebuf.end()
+                if ebuf is not None:
+                    if updated_count == 0:
+                        ebuf.instant("converged", "run", superstep=superstep)
+                    ebuf.end()  # superstep
                 if updated_count == 0:
                     converged = True
                     break
@@ -635,6 +724,10 @@ class MPE:
                 executor.close()
             for fn in reversed(cleanup):
                 fn()
+            if ebuf is not None:
+                # Close the run span — and, when a fault aborted a
+                # superstep mid-phase, every span still open above it.
+                ebuf.close_to(0)
 
         decoded_hits = sum(
             s.decoded_cache.stats.hits
@@ -818,6 +911,11 @@ class MPE:
         self.cluster.dfs.fault_injector = None
         self._worker_last = {}
         self._worker_hash_memo = None
+        if self.tracer is not None:
+            # The fork copied whatever the parent had already recorded;
+            # without this clear the first per-phase drain would ship
+            # those pre-fork events back as duplicates.
+            self.tracer.clear_events()
 
     def _worker_hashed_keys(self, superstep: int, spec):
         """Worker-side reconstruction of the hashed update set.
@@ -898,6 +996,11 @@ class MPE:
                     if decoded is not None
                     else None
                 ),
+                trace=(
+                    tuple(server.trace.drain())
+                    if server.trace is not None
+                    else None
+                ),
             )
         if tag == "apply":
             own = self._worker_last.pop(
@@ -905,7 +1008,13 @@ class MPE:
                 (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)),
             )
             self._apply_server_step(server, own, payload)
-            return snap.delta(server)
+            delta = snap.delta(server)
+            tr_events = (
+                tuple(server.trace.drain())
+                if server.trace is not None
+                else None
+            )
+            return (delta, tr_events)
         raise ValueError(f"unknown phase {tag!r}")
 
     def _process_compute_phase(
@@ -1024,6 +1133,11 @@ class MPE:
             step.cache_keys,
             step.decoded_keys,
         )
+        if step.trace and self.tracer is not None:
+            # Parent mirror of the worker's single-writer buffer; merged
+            # here in server-id order, so the per-buffer sequence is the
+            # one a serial run would have recorded.
+            self.tracer.server(server.server_id).extend(step.trace)
 
     def _resync_parent_caches(self) -> None:
         """Rebuild parent-side cache *contents* from the workers' final
@@ -1076,7 +1190,33 @@ class MPE:
         vertex updated, or ``None`` when filters are off / there is no
         previous superstep.
         """
+        trace = server.trace
+        if trace is None:
+            return self._compute_server_sweep(
+                program, server, superstep, prev_hashed
+            )
+        d0 = trace.depth
+        trace.begin("compute", "phase", superstep=superstep)
+        try:
+            return self._compute_server_sweep(
+                program, server, superstep, prev_hashed
+            )
+        finally:
+            # close_to, not end: an injected fault aborting the sweep
+            # mid-tile must not leave spans open for the next attempt.
+            trace.close_to(d0)
+
+    def _compute_server_sweep(
+        self,
+        program: VertexProgram,
+        server,
+        superstep: int,
+        prev_hashed: "HashedKeys | None",
+    ) -> "_ServerStep":
+        """:meth:`_compute_server_step` body (split so the traced path
+        can wrap it in an exception-safe span)."""
         cfg = self.config
+        trace = server.trace
         if self.injector is not None:
             self.injector.on_compute(server)
         store = server.state["store"]
@@ -1093,13 +1233,23 @@ class MPE:
                 and not self._blooms[tile_id].might_intersect(prev_hashed)
             ):
                 tiles_skipped += 1
+                if trace is not None:
+                    trace.instant("bloom-skip", "bloom", tile=tile_id)
                 continue
+            if trace is not None:
+                trace.begin("tile", "compute", tile=tile_id)
             tile = server.load_tile(blob_name, Tile.from_bytes)
             server.counters.add_memory("scratch", nbytes)
+            if trace is not None:
+                trace.begin("gather-apply", "compute", tile=tile_id)
             ids, vals = _process_tile(program, tile, store)
+            if trace is not None:
+                trace.end()  # gather-apply
             server.counters.add_memory("scratch", -nbytes)
             tile_edge_counts.append(tile.num_edges)
             tiles_processed += 1
+            if trace is not None:
+                trace.end()  # tile
             if ids.size:
                 changed_ids_parts.append(ids)
                 changed_vals_parts.append(vals)
@@ -1142,6 +1292,8 @@ class MPE:
         # pairs.
         payload = None
         if len(self.cluster.servers) > 1:
+            if trace is not None:
+                trace.begin("encode", "comm", updated=int(ids.size))
             own_targets = self._server_target_ids[server.server_id]
             # gather_values fancy-indexes into a fresh array — safe to
             # scatter into directly (the seed's extra .copy() doubled
@@ -1163,6 +1315,8 @@ class MPE:
             )
             if cfg.message_codec != "raw":
                 server.counters.add_compressed(cfg.message_codec, len(payload))
+            if trace is not None:
+                trace.end()  # encode
         return _ServerStep(
             ids=ids,
             vals=vals,
@@ -1184,6 +1338,23 @@ class MPE:
         bytes)`` pairs — a picklable shape, so the process executor
         ships the same argument the thread executor passes in-memory.
         """
+        trace = server.trace
+        if trace is None:
+            return self._apply_server_body(server, own_update, inbox)
+        d0 = trace.depth
+        trace.begin("apply", "phase", inbox=len(inbox))
+        try:
+            return self._apply_server_body(server, own_update, inbox)
+        finally:
+            trace.close_to(d0)
+
+    def _apply_server_body(
+        self,
+        server,
+        own_update: tuple[np.ndarray, np.ndarray],
+        inbox: list[tuple[int, bytes]],
+    ) -> None:
+        """:meth:`_apply_server_step` body (traced-path split)."""
         cfg = self.config
         store = server.state["store"]
         own_ids, own_vals = own_update
@@ -1252,6 +1423,9 @@ class _ProcessStep:
     decoded_stats: tuple | None
     cache_keys: tuple | None
     decoded_keys: tuple | None
+    # Drained trace events from the worker's per-server buffer (None
+    # when tracing is off); extended onto the parent's mirror buffer.
+    trace: tuple | None = None
 
 
 def _parts_ascending(parts: list[np.ndarray]) -> bool:

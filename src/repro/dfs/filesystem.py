@@ -92,6 +92,11 @@ class DistributedFileSystem:
         # Installed by repro.faults.FaultInjector.attach(); None in
         # normal runs.  May inject transient read errors.
         self.fault_injector = None
+        # Engine TraceBuffer (repro.obs.trace) when tracing is on;
+        # records dfs-read/dfs-write spans.  DFS calls happen on the
+        # parent/engine side only (setup, checkpoints, recovery), so the
+        # single-writer buffer contract holds.
+        self.trace = None
         # A persisted namenode image from a previous process (see
         # save_namespace) is picked up automatically.
         if (self._root / _NAMESPACE_FILE).exists():
@@ -127,6 +132,15 @@ class DistributedFileSystem:
     # ------------------------------------------------------------------
     def write(self, path: str, data: bytes) -> DfsFileInfo:
         """Create or replace a file (whole-file semantics, like HDFS)."""
+        if self.trace is None:
+            return self._write(path, data)
+        self.trace.begin("dfs-write", "io", path=path, nbytes=len(data))
+        try:
+            return self._write(path, data)
+        finally:
+            self.trace.end()
+
+    def _write(self, path: str, data: bytes) -> DfsFileInfo:
         if self.exists(path):
             self.delete(path)
         info = DfsFileInfo(path=path, size=len(data), block_size=self.block_size)
@@ -165,6 +179,15 @@ class DistributedFileSystem:
         or raises :class:`repro.faults.errors.DfsReadFault` for fatal
         events.
         """
+        if self.trace is None:
+            return self._read(path, prefer_datanode)
+        self.trace.begin("dfs-read", "io", path=path)
+        try:
+            return self._read(path, prefer_datanode)
+        finally:
+            self.trace.end()
+
+    def _read(self, path: str, prefer_datanode: int | None = None) -> bytes:
         info = self._info(path)
         extra_attempts = 0
         if self.fault_injector is not None:

@@ -124,6 +124,24 @@ class FaultInjector:
             entry["detail"] = detail
         with self._lock:
             self.log.append(entry)
+        # Tracing (repro.obs): fired faults surface as instants.  Server
+        # events go to the server's single-writer buffer (we are on its
+        # sweep thread, or on the parent resolving pre-dispatch); ANY-
+        # scoped events (DFS transients) go to the engine buffer.
+        tracer = getattr(self._mpe, "tracer", None) if self._mpe is not None else None
+        if tracer is not None:
+            buf = (
+                tracer.server(server)
+                if isinstance(server, int) and server >= 0
+                else tracer.engine()
+            )
+            buf.instant(
+                f"fault-{event.kind}",
+                "fault",
+                superstep=self.superstep,
+                event=event.describe(),
+                detail=detail or None,
+            )
 
     @property
     def faults_fired(self) -> int:

@@ -1,0 +1,304 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, JSONL timelines.
+
+Three interchange formats, all derived from the same recorded truth:
+
+* :func:`to_chrome_trace` — the Trace Event Format consumed by
+  Perfetto / ``chrome://tracing``; one track (tid) per buffer, spans as
+  complete ``"X"`` events, instants as ``"i"`` events.
+* :meth:`repro.obs.metrics.MetricsRegistry.to_text` — Prometheus
+  exposition (re-exported here as :func:`write_prometheus` for file
+  output); :func:`parse_prometheus_text` is the matching reader used by
+  round-trip tests.
+* :func:`write_superstep_jsonl` — one JSON object per superstep (the
+  :class:`repro.core.mpe.RunResult` telemetry rows), the
+  grep/jq-friendly timeline.
+
+Validators are first-class: CI loads the emitted Chrome JSON through
+:func:`validate_chrome_trace` rather than trusting the writer.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.trace import BEGIN, END, INSTANT, Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "write_prometheus",
+    "parse_prometheus_text",
+    "write_superstep_jsonl",
+]
+
+_PID = 1
+
+
+def to_chrome_trace(tracer: Tracer, metadata: dict | None = None) -> dict:
+    """Convert a tracer's buffers into a Chrome trace-event object.
+
+    Matched begin/end pairs become complete (``"X"``) events; a begin
+    whose end fell outside the ring (or was never recorded) becomes a
+    bare ``"B"`` event, which viewers render as an open span rather
+    than silently losing it.  Timestamps are microseconds relative to
+    the earliest event, so traces start at t=0.
+    """
+    raw_events: list[tuple[int, tuple]] = []
+    origin = None
+    for buf in tracer.buffers():
+        for event in buf.events():
+            ts = event[3]
+            if origin is None or ts < origin:
+                origin = ts
+            raw_events.append((buf.tid, event))
+    origin = origin or 0.0
+
+    out: list[dict] = []
+    for buf in tracer.buffers():
+        out.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": buf.tid,
+                "args": {"name": buf.label},
+            }
+        )
+    out.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    )
+
+    for buf in tracer.buffers():
+        stack: list[dict] = []
+        for kind, name, cat, ts, args in buf.events():
+            us = (ts - origin) * 1e6
+            if kind == BEGIN:
+                record = {
+                    "ph": "X",
+                    "name": name,
+                    "cat": cat,
+                    "ts": round(us, 3),
+                    "dur": 0.0,
+                    "pid": _PID,
+                    "tid": buf.tid,
+                }
+                if args:
+                    record["args"] = dict(args)
+                stack.append(record)
+            elif kind == END:
+                if stack:
+                    record = stack.pop()
+                    record["dur"] = round(us - record["ts"], 3)
+                    out.append(record)
+            elif kind == INSTANT:
+                record = {
+                    "ph": "i",
+                    "name": name,
+                    "cat": cat,
+                    "ts": round(us, 3),
+                    "pid": _PID,
+                    "tid": buf.tid,
+                    "s": "t",
+                }
+                if args:
+                    record["args"] = dict(args)
+                out.append(record)
+        for record in stack:  # unclosed spans survive as open "B" events
+            record["ph"] = "B"
+            record.pop("dur", None)
+            out.append(record)
+
+    trace = {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs"},
+    }
+    if metadata:
+        trace["otherData"].update(metadata)
+    if tracer.total_dropped:
+        trace["otherData"]["dropped_events"] = tracer.total_dropped
+    return trace
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str, metadata: dict | None = None
+) -> dict:
+    """Write :func:`to_chrome_trace` output as JSON; returns the object."""
+    trace = to_chrome_trace(tracer, metadata)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1)
+    return trace
+
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "B": ("name", "ts", "pid", "tid"),
+    "E": ("ts", "pid", "tid"),
+    "i": ("name", "ts", "pid", "tid"),
+    "M": ("name", "pid"),
+}
+
+
+def validate_chrome_trace(trace) -> list[str]:
+    """Structural validation of a Chrome trace-event object.
+
+    Returns a list of problems (empty ⇒ valid): wrong top-level shape,
+    unknown/missing phase fields, non-numeric or negative timestamps
+    and durations.  This is what the CI smoke runs against the emitted
+    artifact.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return ["top level must be an object with a traceEvents array"]
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        required = _REQUIRED_BY_PHASE.get(ph)
+        if required is None:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        for field in required:
+            if field not in event:
+                problems.append(f"event {i} (ph={ph}): missing {field!r}")
+        for field in ("ts", "dur"):
+            value = event.get(field)
+            if value is not None and (
+                not isinstance(value, (int, float)) or value < 0
+            ):
+                problems.append(f"event {i}: bad {field} {value!r}")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"event {i}: args must be an object")
+    return problems
+
+
+def validate_chrome_trace_file(path: str) -> list[str]:
+    """Load a JSON file and :func:`validate_chrome_trace` it."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable trace file: {exc}"]
+    return validate_chrome_trace(trace)
+
+
+def write_prometheus(registry, path: str) -> None:
+    """Write a registry's Prometheus text exposition to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(registry.to_text())
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse exposition text back into ``{metric: {type, help, samples}}``.
+
+    ``samples`` maps the sample name + sorted label items to a float.
+    Small and strict — it exists so tests can assert the writer emits
+    what a scraper would actually ingest.
+    """
+    metrics: dict[str, dict] = {}
+
+    def family(name: str) -> dict:
+        return metrics.setdefault(
+            name, {"type": None, "help": None, "samples": {}}
+        )
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            family(name)["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown type {kind!r}")
+            family(name)["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        # sample: name{labels} value
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            labels_raw, _, value_raw = rest.rpartition("} ")
+            labels = []
+            for part in _split_labels(labels_raw):
+                key, _, val = part.partition("=")
+                if not val.startswith('"') or not val.endswith('"'):
+                    raise ValueError(f"line {lineno}: bad label {part!r}")
+                labels.append((key, val[1:-1]))
+            key = (name, tuple(sorted(labels)))
+        else:
+            name, _, value_raw = line.partition(" ")
+            key = (name, ())
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in metrics:
+                base = name[: -len(suffix)]
+        family(base)["samples"][key] = float(value_raw)
+    return metrics
+
+
+def _split_labels(raw: str) -> list[str]:
+    """Split ``a="x",b="y,z"`` on commas outside quotes."""
+    parts, current, in_quotes, escaped = [], [], False, False
+    for ch in raw:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            current.append(ch)
+            escaped = True
+        elif ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+        elif ch == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def write_superstep_jsonl(result, path: str) -> int:
+    """Write one JSON object per superstep (plus a trailing summary row).
+
+    ``result`` is a :class:`repro.core.mpe.RunResult`; rows come from
+    its :meth:`trace` telemetry.  Returns the number of rows written.
+    """
+    rows = result.trace()
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps({"type": "superstep", **row}) + "\n")
+        fh.write(
+            json.dumps(
+                {
+                    "type": "summary",
+                    "converged": result.converged,
+                    "num_supersteps": result.num_supersteps,
+                    **result.runtime(),
+                }
+            )
+            + "\n"
+        )
+    return len(rows) + 1

@@ -1,0 +1,177 @@
+"""Run reports: the paper's Table 3 as a first-class artifact.
+
+GraphH's evaluation decomposes every superstep into *load* (disk),
+*gather-apply* (compute + decompression), *broadcast* (network), and
+*sync* — Table 3 of the paper.  The engine already models exactly those
+components (:class:`repro.metrics.cost.SuperstepCost`); this module
+turns one :class:`repro.core.mpe.RunResult` into
+
+* a JSON-serialisable **run report** (:func:`build_run_report`) that
+  captures the per-superstep phase breakdown, the host-runtime
+  telemetry, aggregate counters, and enough identity metadata
+  (dataset / program / executor) to compare runs across commits, and
+* a human-readable table (:func:`format_run_report`) mirroring the
+  Table 3 layout, printed by ``repro trace`` and ``repro report``.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "build_run_report",
+    "save_run_report",
+    "load_run_report",
+    "format_run_report",
+]
+
+REPORT_SCHEMA = "repro-run-report/v1"
+
+# Table 3 column → SuperstepCost component(s).
+_PHASES = (
+    ("load", ("disk",)),
+    ("gather-apply", ("compute", "decompress")),
+    ("broadcast", ("network",)),
+    ("sync", ("sync",)),
+    ("fault", ("fault",)),
+)
+
+
+def build_run_report(
+    result,
+    cluster=None,
+    *,
+    dataset: str = "",
+    program: str = "",
+    num_servers: int | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble the run-report dict for one finished run."""
+    report = {
+        "schema": REPORT_SCHEMA,
+        "dataset": dataset,
+        "program": program,
+        "num_servers": num_servers
+        if num_servers is not None
+        else (len(cluster.servers) if cluster is not None else None),
+        "converged": result.converged,
+        "num_supersteps": result.num_supersteps,
+        "runtime": result.runtime(),
+        "avg_superstep_modeled_s": result.avg_superstep_modeled_s(),
+        "totals": {
+            "net_bytes": result.total_net_bytes(),
+            "disk_read_bytes": result.total_disk_read(),
+            "wall_s": round(sum(s.wall_s for s in result.supersteps), 6),
+        },
+        "supersteps": result.trace(),
+    }
+    if cluster is not None:
+        report["counters"] = {
+            str(s.server_id): s.counters.snapshot() for s in cluster.servers
+        }
+    if extra:
+        report.update(extra)
+    return report
+
+
+def save_run_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_run_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    if report.get("schema") != REPORT_SCHEMA:
+        raise ValueError(
+            f"{path}: not a run report (schema={report.get('schema')!r})"
+        )
+    return report
+
+
+def _phase_seconds(modeled: dict) -> dict[str, float]:
+    """Fold a ``modeled_s`` dict into the Table 3 phase columns."""
+    return {
+        phase: sum(modeled.get(c, 0.0) for c in components)
+        for phase, components in _PHASES
+    }
+
+
+def format_run_report(report: dict, max_rows: int = 40) -> str:
+    """Render the Table-3-style per-superstep breakdown.
+
+    Columns are the paper's phases (modeled seconds); the footer gives
+    the paper's headline metric — the mean superstep time with the
+    first (cold, load-dominated) superstep excluded — plus totals.
+    Long runs elide the middle supersteps.
+    """
+    rows = report.get("supersteps", [])
+    header = (
+        f"{'step':>5} {'load':>9} {'gather-apply':>13} {'broadcast':>10} "
+        f"{'sync':>8} {'fault':>8} {'total':>9}  {'updated':>9} "
+        f"{'tiles p/s':>9} {'hit%':>5}"
+    )
+    lines = [
+        f"run report — {report.get('program') or '?'} on "
+        f"{report.get('dataset') or '?'} "
+        f"(N={report.get('num_servers')}, "
+        f"executor={report.get('runtime', {}).get('executor', '?')})",
+        header,
+        "-" * len(header),
+    ]
+
+    def fmt_row(row: dict) -> str:
+        modeled = row.get("modeled_s") or {}
+        phases = _phase_seconds(modeled)
+        total = modeled.get("total", sum(phases.values()))
+        return (
+            f"{row['superstep']:>5} {phases['load']:>9.4f} "
+            f"{phases['gather-apply']:>13.4f} {phases['broadcast']:>10.4f} "
+            f"{phases['sync']:>8.4f} {phases['fault']:>8.4f} {total:>9.4f}  "
+            f"{row['updated_vertices']:>9} "
+            f"{row['tiles_processed']:>4}/{row['tiles_skipped']:<4} "
+            f"{100.0 * row.get('cache_hit_ratio', 1.0):>5.1f}"
+        )
+
+    if len(rows) <= max_rows:
+        lines.extend(fmt_row(r) for r in rows)
+    else:
+        head, tail = rows[: max_rows // 2], rows[-max_rows // 2 :]
+        lines.extend(fmt_row(r) for r in head)
+        lines.append(f"  ... {len(rows) - len(head) - len(tail)} supersteps elided ...")
+        lines.extend(fmt_row(r) for r in tail)
+
+    lines.append("-" * len(header))
+    steady = [r for r in rows[1:] if r.get("modeled_s")] or [
+        r for r in rows if r.get("modeled_s")
+    ]
+    if steady:
+        mean = {
+            phase: sum(_phase_seconds(r["modeled_s"])[phase] for r in steady)
+            / len(steady)
+            for phase, _ in _PHASES
+        }
+        mean_total = sum(r["modeled_s"]["total"] for r in steady) / len(steady)
+        lines.append(
+            f"{'mean*':>5} {mean['load']:>9.4f} {mean['gather-apply']:>13.4f} "
+            f"{mean['broadcast']:>10.4f} {mean['sync']:>8.4f} "
+            f"{mean['fault']:>8.4f} {mean_total:>9.4f}"
+            "   (* first superstep excluded, the paper's metric)"
+        )
+    totals = report.get("totals", {})
+    lines.append(
+        f"supersteps={report.get('num_supersteps')} "
+        f"converged={report.get('converged')} "
+        f"net={totals.get('net_bytes', 0)}B "
+        f"disk={totals.get('disk_read_bytes', 0)}B "
+        f"wall={totals.get('wall_s', 0.0):.3f}s"
+    )
+    runtime = report.get("runtime", {})
+    if runtime:
+        lines.append(
+            "runtime: "
+            + " ".join(f"{k}={v}" for k, v in sorted(runtime.items()))
+        )
+    return "\n".join(lines)

@@ -107,6 +107,10 @@ class EdgeCache:
             raise ValueError('eviction must be "none" or "lru"')
         self._entries: OrderedDict[str, bytes] = OrderedDict()
         self._used = 0
+        # Owning server's TraceBuffer when tracing is on (see
+        # repro.obs.trace); records eviction/rejection instants only —
+        # stats and metering are untouched either way.
+        self.trace = None
 
     @property
     def codec(self) -> Codec:
@@ -167,17 +171,23 @@ class EdgeCache:
         self.stats.bytes_compressed_in += len(data)
         if len(blob) > self.capacity_bytes:
             self.stats.rejected += 1
+            if self.trace is not None:
+                self.trace.instant("cache-reject", "cache", key=key)
             return False
         if key in self._entries:
             self._used -= len(self._entries.pop(key))
         if self._used + len(blob) > self.capacity_bytes:
             if self.eviction == "none":
                 self.stats.rejected += 1
+                if self.trace is not None:
+                    self.trace.instant("cache-reject", "cache", key=key)
                 return False
             while self._used + len(blob) > self.capacity_bytes:
-                _, evicted = self._entries.popitem(last=False)
+                victim, evicted = self._entries.popitem(last=False)
                 self._used -= len(evicted)
                 self.stats.evictions += 1
+                if self.trace is not None:
+                    self.trace.instant("cache-evict", "cache", key=victim)
         self._entries[key] = blob
         self._used += len(blob)
         self.stats.insertions += 1
@@ -288,6 +298,8 @@ class DecodedTileCache:
         if self.max_entries is not None and self.max_entries < 1:
             raise ValueError("max_entries must be >= 1 or None")
         self._entries: OrderedDict[str, tuple[object, int]] = OrderedDict()
+        # Owning server's TraceBuffer when tracing is on; instants only.
+        self.trace = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -313,8 +325,10 @@ class DecodedTileCache:
         self.stats.insertions += 1
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                victim, _ = self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                if self.trace is not None:
+                    self.trace.instant("decoded-evict", "cache", key=victim)
 
     def invalidate(self, key: str) -> None:
         """Drop one entry (blob rewritten → decoded views are stale)."""

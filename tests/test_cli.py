@@ -152,3 +152,60 @@ class TestCheckpointAndChaosCli:
         )
         assert rc == 0
         assert "fault schedule" in capsys.readouterr().out
+
+    def test_chaos_unrecovered_run_exits_nonzero(self, graph_csv, capsys):
+        """An unconverged run must fail loudly: scripts and CI key off
+        the exit code, not the report text."""
+        rc = main(
+            [
+                "chaos", "pagerank", graph_csv,
+                "--servers", "2", "--max-supersteps", "2",
+                "--checkpoint-every", "2", "--top", "1",
+            ]
+        )
+        assert rc == 1
+        assert "chaos: FAILED" in capsys.readouterr().err
+
+    def test_trace_out_on_algorithm_command(self, graph_csv, tmp_path, capsys):
+        """--trace-out on the plain algorithm subcommands emits a valid
+        Chrome trace without changing the run."""
+        from repro.obs.export import validate_chrome_trace_file
+
+        trace = str(tmp_path / "pr.trace.json")
+        rc = main(
+            ["pagerank", graph_csv, "--servers", "2",
+             "--trace-out", trace, "--top", "1"]
+        )
+        assert rc == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        assert validate_chrome_trace_file(trace) == []
+
+    def test_trace_command_artifacts(self, graph_csv, tmp_path, capsys):
+        """repro trace: all four artifacts plus the Table-3 report."""
+        import json
+
+        out = {
+            name: str(tmp_path / name)
+            for name in ("trace.json", "metrics.prom", "tl.jsonl", "report.json")
+        }
+        rc = main(
+            [
+                "trace", "pagerank", graph_csv, "--servers", "3",
+                "--out", out["trace.json"],
+                "--metrics-out", out["metrics.prom"],
+                "--timeline-out", out["tl.jsonl"],
+                "--report-out", out["report.json"],
+            ]
+        )
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "validated" in stdout
+        assert "load" in stdout and "gather-apply" in stdout
+        assert "# TYPE" in open(out["metrics.prom"]).read()
+        assert open(out["tl.jsonl"]).read().count("\n") >= 2
+        doc = json.loads(open(out["report.json"]).read())
+        assert doc["program"] == "pagerank"
+
+        capsys.readouterr()
+        assert main(["report", out["report.json"]]) == 0
+        assert "broadcast" in capsys.readouterr().out

@@ -1,0 +1,388 @@
+"""Observability subsystem tests (``repro.obs``).
+
+The two invariants that make tracing trustworthy:
+
+* **Determinism** — the span *tree* (names/categories/nesting, never
+  timestamps) is identical across the serial, thread, and process
+  executors, because nesting comes from begin/end order and worker-side
+  buffers are merged parent-side in server-id order.
+* **No-op path** — a traced run changes nothing observable: vertex
+  values, counters, and modeled costs are bitwise identical with
+  tracing on, off, and across executors.
+
+Plus the exporters (Chrome trace JSON, Prometheus text, superstep
+JSONL, run reports) round-trip, and ``CounterSnapshot`` — the struct
+worker deltas ride home in — merges correctly at its edges.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import PageRank
+from repro.cluster import Cluster, ClusterSpec
+from repro.cluster.counters import Counters, CounterSnapshot
+from repro.core import MPE, MPEConfig, SPE
+from repro.graph import chung_lu_graph
+from repro.metrics import CostModel
+from repro.obs.export import (
+    parse_prometheus_text,
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_prometheus,
+    write_superstep_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry, bridge_cluster
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    build_run_report,
+    format_run_report,
+    load_run_report,
+    save_run_report,
+)
+from repro.obs.trace import TraceBuffer, Tracer
+from repro.runtime import process_runtime_available
+
+NUM_SERVERS = 4
+
+EXECUTORS = ["serial", "parallel"] + (
+    ["process"] if process_runtime_available() else []
+)
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return chung_lu_graph(150, 1200, seed=71, name="obs-g")
+
+
+def _run(graph, executor, tracer=None, max_supersteps=6):
+    """One PageRank run; returns (result, modeled_s, agg_counters)."""
+    cluster = Cluster(ClusterSpec(num_servers=NUM_SERVERS))
+    try:
+        spe = SPE(cluster.dfs)
+        tile_edges = max(1, graph.num_edges // (3 * NUM_SERVERS))
+        manifest = spe.preprocess(graph, tile_edges, name=graph.name)
+        mpe = MPE(
+            cluster,
+            manifest,
+            MPEConfig(executor=executor, max_supersteps=max_supersteps),
+            tracer=tracer,
+        )
+        result = mpe.run(PageRank())
+        modeled = CostModel(cluster.spec).superstep_time(
+            [s.counters for s in cluster.servers]
+        ).total_s
+        agg = cluster.aggregate_counters()
+        return result, modeled, agg
+    finally:
+        cluster.close()
+
+
+class TestTraceBuffer:
+    def test_nesting_and_depth(self):
+        buf = TraceBuffer(0, "t")
+        assert buf.depth == 0
+        buf.begin("outer")
+        buf.begin("inner", "io")
+        assert buf.depth == 2
+        buf.end()
+        buf.end()
+        assert buf.depth == 0
+        kinds = [e[0] for e in buf.events()]
+        assert kinds == ["B", "B", "E", "E"]
+
+    def test_span_context_manager_closes_on_error(self):
+        buf = TraceBuffer(0, "t")
+        with pytest.raises(ValueError):
+            with buf.span("body"):
+                raise ValueError("boom")
+        assert buf.depth == 0
+
+    def test_close_to_unwinds_to_depth(self):
+        buf = TraceBuffer(0, "t")
+        buf.begin("run")
+        buf.begin("superstep")
+        buf.begin("phase")
+        buf.close_to(1)
+        assert buf.depth == 1
+        buf.close_to(0)
+        assert buf.depth == 0
+
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        buf = TraceBuffer(0, "t", max_events=4)
+        for i in range(10):
+            buf.instant(f"i{i}")
+        assert len(buf) == 4
+        assert buf.dropped == 6
+        names = [e[1] for e in buf.events()]
+        assert names == ["i6", "i7", "i8", "i9"]
+
+    def test_drain_then_extend_reassembles(self):
+        src = TraceBuffer(1, "worker")
+        src.begin("compute")
+        src.instant("bloom-skip", "bloom")
+        src.end()
+        shipped = src.drain()
+        assert src.events() == [] and src.depth == 0
+        dst = TraceBuffer(1, "parent-mirror")
+        dst.extend(shipped)
+        assert [e[0] for e in dst.events()] == ["B", "I", "E"]
+
+
+class TestTraceDeterminism:
+    def test_span_trees_identical_across_executors(self, skewed):
+        """The acceptance criterion: every executor produces the same
+        span tree (and instant counts) for the same run."""
+        trees, counts, values = {}, {}, {}
+        for executor in EXECUTORS:
+            tracer = Tracer()
+            result, _, _ = _run(skewed, executor, tracer=tracer)
+            trees[executor] = tracer.span_trees()
+            counts[executor] = tracer.instant_counts()
+            values[executor] = result.values
+        reference = trees["serial"]
+        for executor in EXECUTORS[1:]:
+            assert trees[executor] == reference, (
+                f"span tree diverged under executor={executor!r}"
+            )
+            assert counts[executor] == counts["serial"]
+            assert np.array_equal(values[executor], values["serial"])
+
+    def test_expected_span_names_present(self, skewed):
+        tracer = Tracer()
+        _run(skewed, "serial", tracer=tracer, max_supersteps=40)
+
+        def names(nodes, acc):
+            for node in nodes:
+                acc.add(node.name)
+                names(node.children, acc)
+            return acc
+
+        engine = names(tracer.span_trees()["engine"], set())
+        assert {"run", "superstep", "compute", "broadcast", "sync",
+                "apply", "account"} <= engine
+        server = names(tracer.span_trees()["server-0"], set())
+        assert {"compute", "tile", "load", "gather-apply"} <= server
+        assert tracer.instant_counts().get("converged", 0) == 1
+
+    def test_tracing_off_is_bitwise_noop(self, skewed):
+        """values / counters / modeled costs identical traced vs not."""
+        plain = _run(skewed, "serial")
+        traced = _run(skewed, "serial", tracer=Tracer())
+        assert np.array_equal(plain[0].values, traced[0].values)
+        assert plain[1] == traced[1]  # modeled seconds, exact
+        for field in ("net_sent", "net_recv", "disk_read", "disk_write",
+                      "edges_processed", "messages_processed"):
+            assert getattr(plain[2], field) == getattr(traced[2], field)
+        for a, b in zip(plain[0].supersteps, traced[0].supersteps):
+            assert a.updated_vertices == b.updated_vertices
+            assert a.net_bytes == b.net_bytes
+            assert a.tiles_skipped == b.tiles_skipped
+
+    def test_fault_instants_recorded(self, skewed):
+        """Injected faults surface as instants; the *span* tree (faults
+        excluded — the documented determinism exception) still matches
+        a clean run's."""
+        from repro.faults import CRASH, FaultEvent, FaultSchedule, Supervisor
+
+        clean_tracer = Tracer()
+        _run(skewed, "serial", tracer=clean_tracer)
+
+        tracer = Tracer()
+        cluster = Cluster(ClusterSpec(num_servers=NUM_SERVERS))
+        try:
+            spe = SPE(cluster.dfs)
+            tile_edges = max(1, skewed.num_edges // (3 * NUM_SERVERS))
+            manifest = spe.preprocess(skewed, tile_edges, name=skewed.name)
+            mpe = MPE(
+                cluster,
+                manifest,
+                MPEConfig(checkpoint_every=2, max_supersteps=6),
+                tracer=tracer,
+            )
+            schedule = FaultSchedule(
+                [FaultEvent(CRASH, superstep=2, server=1)]
+            )
+            _, report = Supervisor(mpe, schedule=schedule).run(PageRank())
+        finally:
+            cluster.close()
+        assert report.restarts == 1
+        counts = tracer.instant_counts()
+        assert counts.get("fault-crash", 0) >= 1
+
+
+class TestExporters:
+    def test_chrome_trace_roundtrip(self, skewed, tmp_path):
+        tracer = Tracer()
+        _run(skewed, "serial", tracer=tracer)
+        doc = to_chrome_trace(tracer, metadata={"program": "pagerank"})
+        assert validate_chrome_trace(doc) == []
+        phases = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert phases and all("dur" in e for e in phases)
+        assert doc["otherData"]["program"] == "pagerank"
+
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(tracer, path, metadata={"program": "pagerank"})
+        assert validate_chrome_trace_file(path) == []
+        with open(path) as fh:
+            assert json.load(fh)["traceEvents"]
+
+    def test_chrome_trace_flags_unbalanced(self):
+        tracer = Tracer()
+        tracer.engine().begin("run")
+        doc = to_chrome_trace(tracer)
+        unclosed = [e for e in doc["traceEvents"] if e.get("ph") == "B"]
+        assert len(unclosed) == 1
+
+    def test_prometheus_roundtrip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_widgets_total", "widgets", labelnames=("kind",)
+        ).labels(kind="a").inc(3)
+        registry.gauge("repro_depth", "depth").labels().set(2.5)
+        hist = registry.histogram(
+            "repro_sizes_bytes", "sizes", buckets=(10.0, 100.0)
+        ).labels()
+        for v in (5, 50, 500):
+            hist.observe(v)
+
+        path = str(tmp_path / "metrics.prom")
+        write_prometheus(registry, path)
+        parsed = parse_prometheus_text(open(path).read())
+        # Sample keys are (sample_name, sorted (label, value) pairs).
+        assert parsed["repro_widgets_total"]["samples"][
+            ("repro_widgets_total", (("kind", "a"),))
+        ] == 3.0
+        assert parsed["repro_depth"]["samples"][("repro_depth", ())] == 2.5
+        hist_samples = parsed["repro_sizes_bytes"]["samples"]
+        assert hist_samples[("repro_sizes_bytes_count", ())] == 3.0
+        assert hist_samples[("repro_sizes_bytes_sum", ())] == 555.0
+        # Cumulative buckets: le="100" includes the le="10" observations.
+        buckets = {
+            dict(labels)["le"]: value
+            for (name, labels), value in hist_samples.items()
+            if name == "repro_sizes_bytes_bucket"
+        }
+        assert buckets == {"10": 1.0, "100": 2.0, "+Inf": 3.0}
+
+    def test_bridge_cluster_idempotent(self, skewed):
+        cluster = Cluster(ClusterSpec(num_servers=2))
+        try:
+            registry = MetricsRegistry()
+            bridge_cluster(registry, cluster)
+            once = registry.to_text()
+            bridge_cluster(registry, cluster)
+            assert registry.to_text() == once
+        finally:
+            cluster.close()
+
+    def test_superstep_jsonl(self, skewed, tmp_path):
+        result, _, _ = _run(skewed, "serial")
+        path = str(tmp_path / "timeline.jsonl")
+        rows = write_superstep_jsonl(result, path)
+        lines = [json.loads(line) for line in open(path)]
+        # One row per superstep plus the trailing summary row.
+        assert rows == len(lines) == len(result.supersteps) + 1
+        assert all(row["type"] == "superstep" for row in lines[:-1])
+        assert all("net_bytes" in row for row in lines[:-1])
+        assert lines[-1]["type"] == "summary"
+        assert lines[-1]["num_supersteps"] == len(result.supersteps)
+
+
+class TestRunReport:
+    def test_build_save_load_format(self, skewed, tmp_path):
+        cluster = Cluster(ClusterSpec(num_servers=NUM_SERVERS))
+        try:
+            spe = SPE(cluster.dfs)
+            manifest = spe.preprocess(
+                skewed, max(1, skewed.num_edges // 12), name=skewed.name
+            )
+            mpe = MPE(cluster, manifest, MPEConfig(max_supersteps=5))
+            result = mpe.run(PageRank())
+            report = build_run_report(
+                result,
+                cluster,
+                dataset=skewed.name,
+                program="pagerank",
+                num_servers=NUM_SERVERS,
+            )
+        finally:
+            cluster.close()
+        assert report["schema"] == REPORT_SCHEMA
+        assert len(report["supersteps"]) == result.num_supersteps
+        path = str(tmp_path / "report.json")
+        save_run_report(report, path)
+        assert load_run_report(path) == report
+        table = format_run_report(report)
+        assert "load" in table and "gather-apply" in table
+        assert "broadcast" in table and "sync" in table
+
+
+class _FakeServer:
+    def __init__(self):
+        self.counters = Counters()
+        self.cache = None
+
+
+class TestCounterSnapshot:
+    def test_delta_counts_only_post_snapshot_work(self):
+        server = _FakeServer()
+        server.counters.net_sent = 100
+        snap = CounterSnapshot.capture(server)
+        server.counters.net_sent += 40
+        server.counters.edges_processed += 7
+        delta = snap.delta(server)
+        assert delta.net_sent == 40
+        assert delta.edges_processed == 7
+        assert delta.disk_read == 0
+
+    def test_delta_codec_appearing_after_snapshot(self):
+        server = _FakeServer()
+        server.counters.add_decompressed("delta", 10)
+        snap = CounterSnapshot.capture(server)
+        server.counters.add_decompressed("delta", 5)
+        server.counters.add_decompressed("rle", 3)  # new codec post-snap
+        delta = snap.delta(server)
+        assert delta.decompressed == {"delta": 5, "rle": 3}
+
+    def test_delta_omits_unchanged_codecs(self):
+        server = _FakeServer()
+        server.counters.add_compressed("delta", 10)
+        snap = CounterSnapshot.capture(server)
+        delta = snap.delta(server)
+        assert delta.compressed == {}
+
+    def test_add_volumes_folds_delta_to_direct_totals(self):
+        """Parent + shipped delta must equal having done the work
+        in-process — the process executor's merge invariant."""
+        direct = _FakeServer()
+        split = _FakeServer()
+        for server in (direct, split):
+            server.counters.net_recv = 11
+            server.counters.add_decompressed("delta", 4)
+        snap = CounterSnapshot.capture(split)
+
+        def work(c):
+            c.net_recv += 9
+            c.disk_read += 100
+            c.fault_delay_s += 0.5
+            c.add_decompressed("delta", 6)
+        work(direct.counters)
+        work(split.counters)
+
+        parent = _FakeServer()
+        parent.counters.net_recv = 11
+        parent.counters.add_decompressed("delta", 4)
+        parent.counters.add_volumes(snap.delta(split))
+        for field in ("net_recv", "disk_read", "fault_delay_s"):
+            assert getattr(parent.counters, field) == getattr(
+                direct.counters, field
+            )
+        assert parent.counters.decompressed == direct.counters.decompressed
+
+    def test_capture_without_cache_reports_zero(self):
+        snap = CounterSnapshot.capture(_FakeServer())
+        assert snap.cache_hits == 0 and snap.cache_lookups == 0
