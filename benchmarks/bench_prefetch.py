@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Pipelined tile I/O benchmark: prefetch depth × executor sweep.
+
+Measures what the tile prefetch pipeline (``repro.runtime.prefetch``)
+buys, two ways at once:
+
+* **Modeled** — the overlap-aware cost rule reports per-superstep time
+  as ``max(disk + decompress, compute) + residue`` instead of the
+  serial sum; every row records both estimates side by side, and the
+  cache-cold sweep asserts the overlap estimate is strictly below the
+  serial sum (the pipeline hides real I/O behind real compute).
+* **Wall-clock** — host ``wall_s`` per superstep for PageRank at every
+  depth in {0, 1, 2, 4} under the serial / thread / process executors.
+
+The sweep runs on a deliberately disk-heavy, cache-cold configuration
+(tiny edge cache in mode 1, decoded-tile cache off) so each superstep
+re-reads and re-decodes its tiles — the regime the pipeline targets.  A
+second pair of cache-warm rows (default cache config, depth 0 vs 2)
+shows the contrast: with everything resident there is little I/O left
+to hide.
+
+Vertex values are asserted bitwise identical across every row before
+anything is written — a perf number from a wrong answer is worthless.
+Rows carry the executor/worker-width/effective-parallelism metadata;
+on a 1-core host the parallel rows get a loud stderr warning and an
+honest ``effective_parallelism: 1``, so nobody mistakes a pinned-core
+container number for a scaling result.  The same applies to the I/O
+threads: with one core, prefetch wall-clock rows measure pipeline
+overhead, not overlap.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_prefetch.py           # bench tier
+    PYTHONPATH=src python benchmarks/bench_prefetch.py --smoke   # CI smoke
+
+Emits ``BENCH_prefetch.json`` at the repository root by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from _common import REPO_ROOT, base_report, write_report
+
+SUPERSTEPS = 8
+DATASET = "uk2007-s"
+NUM_SERVERS = 3
+DEPTHS = (0, 1, 2, 4)
+
+# Disk-heavy cache-cold regime: a 4 KiB mode-4 (zlib3 — the slow
+# best-ratio codec) edge cache thrashes and the decoded-tile cache is
+# off, so every superstep re-reads, re-compresses for admission, and
+# re-decodes its tiles — the I/O-bound regime the pipeline targets.
+COLD = {"cache_capacity_bytes": 4096, "cache_mode": 4, "decoded_cache": False}
+
+EXECUTORS = [
+    ("serial", {"executor": "serial"}),
+    ("thread", {"executor": "parallel"}),
+    ("process", {"executor": "process"}),
+]
+
+
+def _run_once(tier, config_kwargs, supersteps):
+    from repro.analysis.experiments import run_graphh
+    from repro.apps import PageRank
+    from repro.core import MPEConfig
+    from repro.graph import load_dataset
+
+    graph = load_dataset(DATASET, tier)
+    # tolerance=0 keeps the superstep count fixed across configs, so
+    # every row times identical work.
+    result, cluster = run_graphh(
+        graph,
+        PageRank(tolerance=0.0),
+        NUM_SERVERS,
+        config=MPEConfig(**config_kwargs),
+        max_supersteps=supersteps,
+    )
+    cluster.close()
+    return result
+
+
+def measure(tier, config_kwargs, supersteps, repeats):
+    """Best-of-``repeats`` wall timing + the (repeat-invariant) modeled
+    estimates; returns (row_dict, values)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        result = _run_once(tier, config_kwargs, supersteps)
+        walls = [s.wall_s for s in result.supersteps]
+        steps_total = float(sum(walls))
+        if best is None or steps_total < best["steps_total_s"]:
+            best = {
+                "steps_total_s": steps_total,
+                "warm_mean_s": float(np.mean(walls[1:] or walls)),
+                "supersteps_per_s": (
+                    supersteps / steps_total if steps_total else 0.0
+                ),
+            }
+    serial_sum = result.avg_superstep_modeled_s()
+    overlap = result.avg_superstep_overlap_s()
+    best["modeled_serial_sum_s"] = serial_sum
+    best["modeled_overlap_s"] = overlap
+    best["modeled_overlap_saving"] = (
+        1.0 - overlap / serial_sum if serial_sum else 0.0
+    )
+    # Phase breakdown (steady-state mean) so the JSON explains its own
+    # saving: what overlap hides is min(disk + decompress, compute) —
+    # in a regime where one side dwarfs the other, the saving is small
+    # and the row shows exactly why.
+    steady = [s.modeled for s in result.supersteps[1:] if s.modeled]
+    for phase in ("disk_s", "decompress_s", "compute_s", "network_s", "sync_s"):
+        best[f"modeled_{phase}"] = float(
+            np.mean([getattr(m, phase) for m in steady])
+        )
+    return best, result.values
+
+
+def _meta(executor_kwargs, io_threads: int) -> dict:
+    """Executor + pipeline width metadata with the 1-core honesty check."""
+    from repro.runtime import default_num_threads, default_num_workers
+
+    executor = executor_kwargs.get("executor", "serial")
+    if executor == "serial":
+        width = 1
+    elif executor == "parallel":
+        width = executor_kwargs.get("num_threads") or default_num_threads()
+    else:
+        width = executor_kwargs.get("num_workers") or default_num_workers()
+    cores = os.cpu_count() or 1
+    requested = 1 if executor == "serial" else min(width, NUM_SERVERS)
+    effective = min(requested, cores)
+    if (executor != "serial" or io_threads > 1) and cores == 1:
+        print(
+            f"WARNING: executor={executor!r} io_threads={io_threads} on a "
+            "1-core host: wall-clock rows measure pipeline/pool overhead, "
+            "not overlap — the modeled_overlap_s column is the meaningful "
+            "number here; re-run on a multi-core host for wall results.",
+            file=sys.stderr,
+        )
+    return {
+        "executor": "serial" if executor == "serial" else (
+            "thread" if executor == "parallel" else "process"
+        ),
+        "worker_width": width,
+        "requested_parallelism": requested,
+        "effective_parallelism": effective,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tier", default="bench", choices=["test", "bench"])
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_prefetch.json")
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast run for CI: test tier, serial only, depths {0,2}",
+    )
+    args = parser.parse_args()
+
+    tier = "test" if args.smoke else args.tier
+    supersteps = 4 if args.smoke else SUPERSTEPS
+    repeats = 1 if args.smoke else args.repeats
+    depths = (0, 2) if args.smoke else DEPTHS
+    executors = EXECUTORS[:1] if args.smoke else EXECUTORS
+
+    from repro.runtime import process_runtime_available
+
+    report = base_report(
+        "prefetch",
+        dataset=DATASET,
+        tier=tier,
+        program="pagerank(tolerance=0)",
+        runtime_host=True,
+        supersteps=supersteps,
+        repeats=repeats,
+        num_servers=NUM_SERVERS,
+    )
+
+    reference_values = None
+
+    def sweep(label, cache_kwargs, executor_list, depth_list):
+        nonlocal reference_values
+        for exec_name, exec_kwargs in executor_list:
+            if exec_kwargs.get("executor") == "process" and not (
+                process_runtime_available()
+            ):
+                print(f"{label} {exec_name}: skipped (no fork)")
+                continue
+            for depth in depth_list:
+                io_threads = 2 if depth > 0 else 1
+                kwargs = {
+                    **cache_kwargs,
+                    **exec_kwargs,
+                    "prefetch_depth": depth,
+                    "io_threads": io_threads,
+                }
+                meta = _meta(exec_kwargs, io_threads)
+                best, values = measure(tier, kwargs, supersteps, repeats)
+                if reference_values is None:
+                    reference_values = values
+                elif not np.array_equal(values, reference_values):
+                    raise SystemExit(
+                        f"values diverged: {label} {exec_name} depth={depth}"
+                    )
+                config = f"{label}:{exec_name}+d{depth}"
+                row = {
+                    "config": config,
+                    "num_servers": NUM_SERVERS,
+                    "prefetch_depth": depth,
+                    "io_threads": io_threads,
+                    **meta,
+                    **best,
+                }
+                report["results"].append(row)
+                print(
+                    f"{config:<24} steps_total={best['steps_total_s']:.3f}s"
+                    f" modeled serial-sum={best['modeled_serial_sum_s']:.4f}s"
+                    f" overlap={best['modeled_overlap_s']:.4f}s"
+                    f" (saving {100 * best['modeled_overlap_saving']:.1f}%,"
+                    f" eff.par={meta['effective_parallelism']})"
+                )
+
+    sweep("cold", COLD, executors, depths)
+    if not args.smoke:
+        sweep("warm", {}, EXECUTORS[:1], (0, 2))
+
+    # Acceptance: on the cache-cold config the overlap rule must model
+    # strictly less time than the serial sum — there is real disk and
+    # decompress work being hidden behind real compute.
+    cold_rows = [r for r in report["results"] if r["config"].startswith("cold")]
+    for row in cold_rows:
+        if row["modeled_overlap_s"] >= row["modeled_serial_sum_s"]:
+            raise SystemExit(
+                f"{row['config']}: overlap estimate "
+                f"{row['modeled_overlap_s']} is not below the serial sum "
+                f"{row['modeled_serial_sum_s']} on the cache-cold config"
+            )
+    saving = cold_rows[0]["modeled_overlap_saving"]
+    print(
+        f"cold-config modeled overlap saving: {100 * saving:.1f}% "
+        "per superstep (identical across depths/executors by construction)"
+    )
+
+    write_report(report, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,8 @@
 """Regression gate: fresh bench runs vs the committed ``BENCH_*.json``.
 
 Re-runs the JSON-emitting benches (``bench_hotpath.py``, its
-``--sweep`` mode, ``bench_faults.py``) at the *baseline's own tier* and
+``--sweep`` mode, ``bench_faults.py``, ``bench_prefetch.py``) at the
+*baseline's own tier* and
 compares row by row:
 
 * **Wall-clock rows** (hotpath / procpool): fail when a fresh row's
@@ -62,6 +63,12 @@ BENCHMARKS = {
         ["bench_faults.py"],
         ("checkpoint_every",),
         True,
+    ),
+    "prefetch": (
+        "BENCH_prefetch.json",
+        ["bench_prefetch.py"],
+        ("config", "num_servers"),
+        False,
     ),
 }
 

@@ -218,7 +218,7 @@ class PregelEngine:
                     tiles_skipped=0,
                     net_bytes=sum(d.net_sent for d in step_deltas),
                     disk_read_bytes=sum(d.disk_read for d in step_deltas),
-                    cache_hit_ratio=1.0,
+                    cache_hit_ratio=0.0,  # in-memory engine: no cache, zero lookups
                     modeled=modeled,
                     wall_s=time.perf_counter() - t0,
                 )

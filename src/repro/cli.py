@@ -85,6 +85,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "(default: one per core, capped)",
     )
     parser.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=0,
+        metavar="D",
+        help="tile prefetch pipeline depth (0 = off): overlap the next "
+        "tile's disk read + decompress + decode with compute",
+    )
+    parser.add_argument(
+        "--io-threads",
+        type=int,
+        default=1,
+        metavar="T",
+        help="background I/O threads per server feeding the pipeline",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="JSON",
@@ -155,6 +170,8 @@ def _run(graph: Graph, program, args):
         checkpoint_every=args.checkpoint_every,
         executor=args.executor,
         num_workers=args.num_workers,
+        prefetch_depth=args.prefetch_depth,
+        io_threads=args.io_threads,
     )
     with GraphH(
         num_servers=args.servers,
@@ -234,6 +251,8 @@ def cmd_wcc(args) -> int:
         checkpoint_every=args.checkpoint_every,
         executor=args.executor,
         num_workers=args.num_workers,
+        prefetch_depth=args.prefetch_depth,
+        io_threads=args.io_threads,
     )
     with GraphH(
         num_servers=args.servers,
@@ -348,6 +367,8 @@ def cmd_chaos(args) -> int:
                 checkpoint_every=args.checkpoint_every,
                 executor=args.executor,
                 max_supersteps=args.max_supersteps,
+                prefetch_depth=args.prefetch_depth,
+                io_threads=args.io_threads,
             ),
         )
 
@@ -435,7 +456,12 @@ def cmd_trace(args) -> int:
         graph = graph.to_undirected_edges()
         program = WCC()
 
-    config = MPEConfig(executor=args.executor, num_workers=args.num_workers)
+    config = MPEConfig(
+        executor=args.executor,
+        num_workers=args.num_workers,
+        prefetch_depth=args.prefetch_depth,
+        io_threads=args.io_threads,
+    )
     with GraphH(
         num_servers=args.servers,
         config=config,
@@ -580,6 +606,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="serial",
     )
     t.add_argument("--num-workers", type=int, default=None, metavar="K")
+    t.add_argument("--prefetch-depth", type=int, default=0, metavar="D",
+                   help="tile prefetch pipeline depth (0 = off)")
+    t.add_argument("--io-threads", type=int, default=1, metavar="T",
+                   help="background I/O threads per server")
     t.add_argument(
         "--out", default=None, metavar="JSON",
         help="Chrome trace-event JSON (validated after writing)",
@@ -625,6 +655,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("serial", "parallel", "process"),
         default="serial",
     )
+    c.add_argument("--prefetch-depth", type=int, default=0, metavar="D",
+                   help="tile prefetch pipeline depth (0 = off)")
+    c.add_argument("--io-threads", type=int, default=1, metavar="T",
+                   help="background I/O threads per server")
     c.add_argument("--crash-at", type=int, default=None, metavar="STEP",
                    help="crash a server at this superstep")
     c.add_argument("--crash-server", type=int, default=0)

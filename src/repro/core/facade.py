@@ -55,6 +55,12 @@ class GraphH:
     num_workers:
         Process-pool width for ``executor="process"``; overlays
         ``config`` when given.
+    prefetch_depth:
+        Tile prefetch pipeline depth (0 = off); overlays ``config``
+        when given.  See :mod:`repro.runtime.prefetch`.
+    io_threads:
+        Background I/O threads per server feeding the pipeline;
+        overlays ``config`` when given.
     trace:
         ``True`` enables the observability subsystem (:mod:`repro.obs`):
         every run records spans/instants into :attr:`tracer` and bridges
@@ -76,18 +82,24 @@ class GraphH:
         root: str | None = None,
         executor: str | None = None,
         num_workers: int | None = None,
+        prefetch_depth: int | None = None,
+        io_threads: int | None = None,
         trace=False,
         trace_out: str | None = None,
     ) -> None:
         self.spec = spec or ClusterSpec(num_servers=num_servers)
         self.cluster = Cluster(self.spec, root=root)
         self.config = config or MPEConfig()
-        if executor is not None or num_workers is not None:
-            overrides = {}
-            if executor is not None:
-                overrides["executor"] = executor
-            if num_workers is not None:
-                overrides["num_workers"] = num_workers
+        overrides = {}
+        if executor is not None:
+            overrides["executor"] = executor
+        if num_workers is not None:
+            overrides["num_workers"] = num_workers
+        if prefetch_depth is not None:
+            overrides["prefetch_depth"] = prefetch_depth
+        if io_threads is not None:
+            overrides["io_threads"] = io_threads
+        if overrides:
             self.config = dataclasses.replace(self.config, **overrides)
         self.tracer = None
         self.trace_out = trace_out

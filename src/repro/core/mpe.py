@@ -100,6 +100,15 @@ class MPEConfig:
     decoded_cache: bool = True
     # LRU bound on live decoded tiles per server (None → all of them).
     decoded_cache_entries: int | None = None
+    # Tile prefetch pipeline (repro.runtime.prefetch): how many tiles
+    # ahead background I/O threads speculate while compute gathers the
+    # current one.  0 (default) disables the pipeline entirely; results
+    # and metering are bitwise identical at every depth.  The
+    # REPRO_PREFETCH environment variable overrides the depth at run
+    # time (CI's forcing flag).
+    prefetch_depth: int = 0
+    # Background I/O threads per server feeding the pipeline.
+    io_threads: int = 1
 
     def __post_init__(self) -> None:
         if self.comm_mode not in ("hybrid", "dense", "sparse"):
@@ -124,6 +133,10 @@ class MPEConfig:
             raise ValueError("num_workers must be >= 1 or None")
         if self.decoded_cache_entries is not None and self.decoded_cache_entries < 1:
             raise ValueError("decoded_cache_entries must be >= 1 or None")
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
+        if self.io_threads < 1:
+            raise ValueError("io_threads must be >= 1")
 
 
 @dataclass
@@ -154,6 +167,9 @@ class RunResult:
     sort_fallbacks: int = 0
     decoded_cache_hits: int = 0
     decoded_cache_misses: int = 0
+    # Effective tile-prefetch pipeline depth this run executed with
+    # (0 = pipeline off; REPRO_PREFETCH overrides already applied).
+    prefetch_depth: int = 0
 
     @property
     def num_supersteps(self) -> int:
@@ -166,6 +182,7 @@ class RunResult:
             "sort_fallbacks": self.sort_fallbacks,
             "decoded_cache_hits": self.decoded_cache_hits,
             "decoded_cache_misses": self.decoded_cache_misses,
+            "prefetch_depth": self.prefetch_depth,
         }
 
     def trace(self) -> list[dict]:
@@ -192,6 +209,7 @@ class RunResult:
                     "sync": s.modeled.sync_s,
                     "fault": s.modeled.fault_s,
                     "total": s.modeled.total_s,
+                    "overlap": s.modeled.overlap_s,
                 }
             out.append(row)
         return out
@@ -225,6 +243,19 @@ class RunResult:
             return 0.0
         return float(np.mean([s.modeled.total_s for s in steps if s.modeled]))
 
+    def avg_superstep_overlap_s(self, skip_first: bool = True) -> float:
+        """Overlap-aware sibling of :meth:`avg_superstep_modeled_s`:
+        mean modeled time under the max(io, compute) pipelining rule."""
+        steps = self.supersteps[1:] if skip_first and len(self.supersteps) > 1 else self.supersteps
+        vals = [
+            s.modeled.overlap_s
+            for s in steps
+            if s.modeled is not None and s.modeled.overlap_s is not None
+        ]
+        if not vals:
+            return 0.0
+        return float(np.mean(vals))
+
 
 class MPE:
     """GAB executor over a simulated cluster."""
@@ -245,6 +276,13 @@ class MPE:
         # site reduces to one is-None check.
         self.tracer = tracer
         self._obs_wall = None
+        self._obs_prefetch = None
+        # Effective prefetch knobs for the current run; re-resolved at
+        # the top of run() (REPRO_PREFETCH override) *before* tracer
+        # wiring and before the process pool forks, so workers inherit
+        # the resolved values.
+        self._prefetch_depth = self.config.prefetch_depth
+        self._io_threads = self.config.io_threads
         self.spe = SPE(cluster.dfs)
         self._tiles_fetched = False
         # Per-server: list of (tile_id, blob_name, nbytes); bloom filters.
@@ -286,9 +324,18 @@ class MPE:
         traced runs clean again.
         """
         tracer = self.tracer
+        prefetch_on = self._prefetch_depth > 0
         for server in self.cluster.servers:
             buf = tracer.server(server.server_id) if tracer is not None else None
             server.trace = buf
+            # The prefetch pipeline's I/O threads get their own buffer
+            # (complete-events only, multi-writer safe) — created only
+            # when the pipeline is on, so depth-0 traces are unchanged.
+            server.prefetch_trace = (
+                tracer.prefetch(server.server_id)
+                if tracer is not None and prefetch_on
+                else None
+            )
             if server.cache is not None:
                 server.cache.trace = buf
             if server.decoded_cache is not None:
@@ -310,9 +357,19 @@ class MPE:
                 "host wall time per superstep",
                 buckets=DEFAULT_SECONDS_BUCKETS,
             ).labels()
+            self._obs_prefetch = (
+                tracer.metrics.gauge(
+                    "repro_prefetch_occupancy",
+                    "fraction of tile dequeues served without stalling",
+                    ("server",),
+                )
+                if prefetch_on
+                else None
+            )
         else:
             self.channel.obs_bytes = None
             self._obs_wall = None
+            self._obs_prefetch = None
 
     # ------------------------------------------------------------------
     # Setup: fetch tiles, build blooms, size caches
@@ -413,6 +470,10 @@ class MPE:
             write_checkpoint,
         )
 
+        # Resolve the pipeline knobs first: tracer wiring keys off the
+        # effective depth, and the process pool's forked workers inherit
+        # these fields by value.
+        self._prefetch_depth, self._io_threads = self._resolve_prefetch()
         self._wire_tracer()
         ebuf = self.tracer.engine() if self.tracer is not None else None
         if ebuf is not None:
@@ -587,6 +648,13 @@ class MPE:
                     tiles_processed += step.tiles_processed
                     tiles_skipped += step.tiles_skipped
                     self.sort_fallbacks += step.sort_fallbacks
+                    if (
+                        self._obs_prefetch is not None
+                        and step.prefetch_total > 0
+                    ):
+                        self._obs_prefetch.labels(
+                            server=server.server_id
+                        ).set(step.prefetch_ready / step.prefetch_total)
                     all_updates.append((step.ids, step.vals))
                     if step.payload is not None:
                         message_modes.append(step.payload[0])
@@ -681,7 +749,7 @@ class MPE:
                             d.disk_read + d.disk_read_random
                             for d in step_deltas
                         ),
-                        cache_hit_ratio=float(np.mean(hits)) if hits else 1.0,
+                        cache_hit_ratio=float(np.mean(hits)) if hits else 0.0,
                         message_modes=message_modes,
                         modeled=step_cost,
                         wall_s=time.perf_counter() - t0,
@@ -747,6 +815,7 @@ class MPE:
             sort_fallbacks=self.sort_fallbacks,
             decoded_cache_hits=decoded_hits,
             decoded_cache_misses=decoded_misses,
+            prefetch_depth=self._prefetch_depth,
         )
 
     def respawn_server(self, server_id: int) -> int:
@@ -808,6 +877,26 @@ class MPE:
             )
             name = "parallel"
         return name, num_workers
+
+    def _resolve_prefetch(self) -> tuple[int, int]:
+        """Resolve this run's prefetch depth and I/O thread count.
+
+        ``REPRO_PREFETCH`` (CI's forcing flag) overrides the configured
+        depth; the I/O thread count always comes from the config.
+        """
+        cfg = self.config
+        raw = os.environ.get("REPRO_PREFETCH", "").strip()
+        if not raw:
+            return cfg.prefetch_depth, cfg.io_threads
+        try:
+            depth = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_PREFETCH must be an integer depth, got {raw!r}"
+            ) from None
+        if depth < 0:
+            raise ValueError("REPRO_PREFETCH must be >= 0")
+        return depth, cfg.io_threads
 
     def _start_process_pool(
         self, program, num_vertices: int, num_workers: int, cleanup: list
@@ -1001,6 +1090,13 @@ class MPE:
                     if server.trace is not None
                     else None
                 ),
+                prefetch_trace=(
+                    tuple(server.prefetch_trace.drain())
+                    if server.prefetch_trace is not None
+                    else None
+                ),
+                prefetch_ready=step.prefetch_ready,
+                prefetch_total=step.prefetch_total,
             )
         if tag == "apply":
             own = self._worker_last.pop(
@@ -1138,6 +1234,8 @@ class MPE:
             # here in server-id order, so the per-buffer sequence is the
             # one a serial run would have recorded.
             self.tracer.server(server.server_id).extend(step.trace)
+        if step.prefetch_trace and self.tracer is not None:
+            self.tracer.prefetch(server.server_id).extend(step.prefetch_trace)
 
     def _resync_parent_caches(self) -> None:
         """Rebuild parent-side cache *contents* from the workers' final
@@ -1226,6 +1324,9 @@ class MPE:
         tiles_processed = 0
         tiles_skipped = 0
         sort_fallbacks = 0
+        # Explicit schedule: bloom skips are resolved *before* anything
+        # is enqueued, so a skipped tile costs the pipeline zero I/O.
+        schedule: list[tuple[int, str, int]] = []
         for tile_id, blob_name, nbytes in self._assignments[server.server_id]:
             if (
                 superstep > 0
@@ -1236,9 +1337,15 @@ class MPE:
                 if trace is not None:
                     trace.instant("bloom-skip", "bloom", tile=tile_id)
                 continue
+            schedule.append((tile_id, blob_name, nbytes))
+
+        def run_tile(
+            tile_id: int, blob_name: str, nbytes: int, prefetched=None
+        ) -> None:
+            nonlocal tiles_processed
             if trace is not None:
                 trace.begin("tile", "compute", tile=tile_id)
-            tile = server.load_tile(blob_name, Tile.from_bytes)
+            tile = self._load_decoded_tile(server, blob_name, prefetched)
             server.counters.add_memory("scratch", nbytes)
             if trace is not None:
                 trace.begin("gather-apply", "compute", tile=tile_id)
@@ -1253,6 +1360,37 @@ class MPE:
             if ids.size:
                 changed_ids_parts.append(ids)
                 changed_vals_parts.append(vals)
+
+        prefetch_ready = 0
+        prefetch_total = 0
+        if self._prefetch_depth > 0 and schedule:
+            from repro.runtime.prefetch import TilePrefetcher
+
+            # Background threads speculate ahead (read-only, unmetered);
+            # run_tile commits each dequeue through the same metered
+            # path as the sequential loop below, in the same order —
+            # the fault injector keeps firing inside the metered load,
+            # i.e. in deterministic serial sweep order.
+            prefetcher = TilePrefetcher(
+                server,
+                schedule,
+                self._TILE_PARSER,
+                depth=self._prefetch_depth,
+                io_threads=self._io_threads,
+                name_of=lambda item: item[1],
+                io_trace=server.prefetch_trace,
+                wait_trace=trace,
+            )
+            try:
+                for item, hint, _ready in prefetcher:
+                    run_tile(*item, prefetched=hint)
+            finally:
+                prefetcher.close()
+            prefetch_ready = prefetcher.served_ready
+            prefetch_total = prefetcher.dequeues
+        else:
+            for item in schedule:
+                run_tile(*item)
 
         # Charge compute as the LPT makespan of this server's
         # indivisible tiles over its T workers (§III-C.3's
@@ -1324,7 +1462,20 @@ class MPE:
             tiles_processed=tiles_processed,
             tiles_skipped=tiles_skipped,
             sort_fallbacks=sort_fallbacks,
+            prefetch_ready=prefetch_ready,
+            prefetch_total=prefetch_total,
         )
+
+    # The one decode callback every metered tile load shares — the
+    # sequential sweep, the pipeline's speculation, and its dequeue
+    # commit all parse through this.
+    _TILE_PARSER = staticmethod(Tile.from_bytes)
+
+    def _load_decoded_tile(self, server, blob_name: str, prefetched=None):
+        """The single metered tile-load path (satellite of the prefetch
+        PR): cache/disk accounting, fault injection, and decode all
+        funnel through ``Server.load_tile`` with the shared parser."""
+        return server.load_tile(blob_name, self._TILE_PARSER, prefetched)
 
     def _apply_server_step(
         self,
@@ -1394,6 +1545,11 @@ class _ServerStep:
     tiles_processed: int
     tiles_skipped: int
     sort_fallbacks: int
+    # Pipeline occupancy: dequeues served without stalling / total
+    # dequeues (both 0 when the pipeline is off).  Host-side telemetry
+    # only — never part of the bitwise-compared results.
+    prefetch_ready: int = 0
+    prefetch_total: int = 0
 
 
 @dataclass
@@ -1426,6 +1582,10 @@ class _ProcessStep:
     # Drained trace events from the worker's per-server buffer (None
     # when tracing is off); extended onto the parent's mirror buffer.
     trace: tuple | None = None
+    # Same for the worker's prefetch-pipeline buffer.
+    prefetch_trace: tuple | None = None
+    prefetch_ready: int = 0
+    prefetch_total: int = 0
 
 
 def _parts_ascending(parts: list[np.ndarray]) -> bool:

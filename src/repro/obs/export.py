@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 
-from repro.obs.trace import BEGIN, END, INSTANT, Tracer
+from repro.obs.trace import BEGIN, COMPLETE, END, INSTANT, Tracer
 
 __all__ = [
     "to_chrome_trace",
@@ -110,6 +110,21 @@ def to_chrome_trace(tracer: Tracer, metadata: dict | None = None) -> dict:
                 }
                 if args:
                     record["args"] = dict(args)
+                out.append(record)
+            elif kind == COMPLETE:
+                record_args = dict(args) if args else {}
+                dur_s = record_args.pop("dur_s", 0.0)
+                record = {
+                    "ph": "X",
+                    "name": name,
+                    "cat": cat,
+                    "ts": round(us, 3),
+                    "dur": round(max(0.0, dur_s) * 1e6, 3),
+                    "pid": _PID,
+                    "tid": buf.tid,
+                }
+                if record_args:
+                    record["args"] = record_args
                 out.append(record)
         for record in stack:  # unclosed spans survive as open "B" events
             record["ph"] = "B"

@@ -132,7 +132,7 @@ def format_run_report(report: dict, max_rows: int = 40) -> str:
             f"{phases['sync']:>8.4f} {phases['fault']:>8.4f} {total:>9.4f}  "
             f"{row['updated_vertices']:>9} "
             f"{row['tiles_processed']:>4}/{row['tiles_skipped']:<4} "
-            f"{100.0 * row.get('cache_hit_ratio', 1.0):>5.1f}"
+            f"{100.0 * row.get('cache_hit_ratio', 0.0):>5.1f}"
         )
 
     if len(rows) <= max_rows:

@@ -53,6 +53,10 @@ __all__ = ["TraceBuffer", "Tracer", "SpanNode", "span_forest"]
 BEGIN = "B"
 END = "E"
 INSTANT = "I"
+# A self-contained span carrying its own duration, recorded with one
+# atomic append — the only kind safe for multi-writer buffers (the
+# prefetch pipeline's I/O threads share one buffer per server).
+COMPLETE = "C"
 
 # Default per-buffer ring capacity.  One superstep of a 9-server run
 # over a few hundred tiles is a few thousand events; this bounds a
@@ -60,6 +64,9 @@ INSTANT = "I"
 DEFAULT_MAX_EVENTS = 200_000
 
 ENGINE_TID = 0
+# Prefetch-pipeline buffers live far above the server tids so the two
+# ranges can never collide however many servers a run has.
+PREFETCH_TID_BASE = 10_000
 
 
 def _now() -> float:
@@ -103,6 +110,20 @@ class TraceBuffer:
     def instant(self, name: str, cat: str = "instant", **args) -> None:
         """Record a point event."""
         self._append((INSTANT, name, cat, _now(), args or None))
+
+    def complete(
+        self, name: str, cat: str, t0: float, t1: float, **args
+    ) -> None:
+        """Record a self-contained span (begin time + duration) with a
+        single atomic append.
+
+        Unlike :meth:`begin`/:meth:`end` this never touches the nesting
+        depth, so concurrent writers (the prefetch pipeline's I/O
+        threads) cannot corrupt span structure — each event is whole.
+        """
+        payload = dict(args)
+        payload["dur_s"] = t1 - t0
+        self._append((COMPLETE, name, cat, t0, payload))
 
     @contextmanager
     def span(self, name: str, cat: str = "phase", **args):
@@ -198,6 +219,15 @@ class Tracer:
     def server(self, server_id: int) -> TraceBuffer:
         """The per-server buffer (tile spans, bloom/cache instants)."""
         return self._buffer(int(server_id) + 1, f"server-{int(server_id)}")
+
+    def prefetch(self, server_id: int) -> TraceBuffer:
+        """The per-server prefetch-pipeline buffer (``tile_prefetch``
+        complete-events from background I/O threads).  Created only for
+        runs with prefetch enabled."""
+        return self._buffer(
+            PREFETCH_TID_BASE + int(server_id),
+            f"server-{int(server_id)}-prefetch",
+        )
 
     def _buffer(self, tid: int, label: str) -> TraceBuffer:
         buf = self._buffers.get(tid)
@@ -310,5 +340,8 @@ def span_forest(events, include_instants: bool = True) -> list[SpanNode]:
                 stack.pop()
         elif kind == INSTANT and include_instants:
             node = SpanNode(name, cat, "instant")
+            (stack[-1].children if stack else roots).append(node)
+        elif kind == COMPLETE:
+            node = SpanNode(name, cat, "complete")
             (stack[-1].children if stack else roots).append(node)
     return roots

@@ -189,6 +189,14 @@ class ArenaDisk(LocalDisk):
         self.read_ops += 1
         return data
 
+    def peek(self, name: str) -> bytes:
+        """Unmetered read served from the shared arena when possible —
+        the prefetch pipeline's speculation path inside forked workers."""
+        data = self._arena.get(name)
+        if data is None:
+            return super().peek(name)
+        return data
+
     def restore(self) -> LocalDisk:
         """Hand the meters back to the wrapped disk and return it."""
         self._inner.bytes_read = self.bytes_read

@@ -46,8 +46,9 @@ class CacheStats:
 
     @property
     def hit_ratio(self) -> float:
-        """Fraction of lookups served from memory (1.0 when idle)."""
-        return self.hits / self.lookups if self.lookups else 1.0
+        """Fraction of lookups served from memory (0.0 when idle — an
+        idle cache has served nothing, not everything)."""
+        return self.hits / self.lookups if self.lookups else 0.0
 
 
 def select_cache_mode(total_tile_bytes: int, capacity_bytes: int) -> int:
@@ -128,17 +129,38 @@ class EdgeCache:
     def __contains__(self, key: str) -> bool:
         return key in self._entries
 
-    def get(self, key: str) -> bytes | None:
-        """Return the uncompressed blob on hit, ``None`` on miss."""
+    def get(self, key: str, prefetched=None) -> bytes | None:
+        """Return the uncompressed blob on hit, ``None`` on miss.
+
+        ``prefetched`` is an optional speculation record from the tile
+        prefetch pipeline (:mod:`repro.runtime.prefetch`).  Its decoded
+        product is reused *only* when it was derived from the exact
+        stored entry (object identity) — the hint can never change the
+        hit/miss decision or the metered byte counts, it only skips
+        re-running the deterministic codec.
+        """
         blob = self._entries.get(key)
         if blob is None:
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
-        data = self.codec.decompress(blob)
+        if (
+            prefetched is not None
+            and prefetched.decompressed is not None
+            and prefetched.stored is blob
+        ):
+            data = prefetched.decompressed
+        else:
+            data = self.codec.decompress(blob)
         self.stats.bytes_decompressed += len(data)
         return data
+
+    def peek_stored(self, key: str) -> bytes | None:
+        """Non-mutating probe: the *stored* (possibly compressed) entry
+        bytes, or ``None``.  No stats, no recency update — safe for the
+        prefetch pipeline's background speculation."""
+        return self._entries.get(key)
 
     def touch(self, key: str, uncompressed_len: int) -> bool:
         """Metering-equivalent hit for callers that already hold the
@@ -158,7 +180,7 @@ class EdgeCache:
         self.stats.bytes_decompressed += int(uncompressed_len)
         return True
 
-    def put(self, key: str, data: bytes) -> bool:
+    def put(self, key: str, data: bytes, prefetched=None) -> bool:
         """Insert an uncompressed blob; returns False if not admitted.
 
         Under ``eviction="none"`` an entry that does not fit in the
@@ -166,8 +188,20 @@ class EdgeCache:
         ``"lru"`` least-recently-used entries are evicted to make room;
         blobs bigger than the whole capacity are rejected rather than
         flushing the entire cache.
+
+        ``prefetched`` may carry a speculatively pre-compressed copy of
+        ``data``; it is reused only when compressed from this exact
+        object (compression is deterministic, so the bytes — and every
+        admission decision downstream of them — are identical).
         """
-        blob = self.codec.compress(data)
+        if (
+            prefetched is not None
+            and prefetched.compressed is not None
+            and prefetched.raw is data
+        ):
+            blob = prefetched.compressed
+        else:
+            blob = self.codec.compress(data)
         self.stats.bytes_compressed_in += len(data)
         if len(blob) > self.capacity_bytes:
             self.stats.rejected += 1
@@ -193,13 +227,23 @@ class EdgeCache:
         self.stats.insertions += 1
         return True
 
-    def load(self, key: str, disk: LocalDisk) -> bytes:
-        """The §IV-B lookup path: cache first, else disk + insert."""
-        data = self.get(key)
+    def load(self, key: str, disk: LocalDisk, prefetched=None) -> bytes:
+        """The §IV-B lookup path: cache first, else disk + insert.
+
+        With a ``prefetched`` record the miss path serves the already-
+        peeked bytes through :meth:`LocalDisk.read_cached` (identical
+        metering, same returned object) so the insert can reuse the
+        speculative compression.  Hit/miss, admission, and every stat
+        are decided here exactly as without the hint.
+        """
+        data = self.get(key, prefetched)
         if data is not None:
             return data
-        data = disk.read(key)
-        self.put(key, data)
+        if prefetched is not None and prefetched.raw is not None:
+            data = disk.read_cached(key, prefetched.raw)
+        else:
+            data = disk.read(key)
+        self.put(key, data, prefetched)
         return data
 
     def content_keys(self) -> list[str]:
@@ -260,8 +304,8 @@ class DecodedCacheStats:
 
     @property
     def hit_ratio(self) -> float:
-        """Fraction of lookups served decoded (1.0 when idle)."""
-        return self.hits / self.lookups if self.lookups else 1.0
+        """Fraction of lookups served decoded (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
 
 
 @dataclass
@@ -316,6 +360,11 @@ class DecodedTileCache:
         self._entries.move_to_end(key)
         self.stats.hits += 1
         return entry
+
+    def peek(self, key: str) -> tuple[object, int] | None:
+        """Non-mutating probe (no stats, no recency) for the prefetch
+        pipeline's background speculation."""
+        return self._entries.get(key)
 
     def put(self, key: str, obj: object, uncompressed_len: int) -> None:
         """Insert a decoded object, evicting LRU entries past capacity."""
