@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Big-graph selective-scheduling benchmark (the GraphMP port).
+
+Streams a 10⁷-edge R-MAT analog through the chunked generator
+(:func:`repro.graph.rmat_graph_streamed` — O(|V| + chunk) transient
+memory), then runs weighted SSSP from the largest hub under a
+semi-external setting: the edge cache is capped far below the tile set,
+so every scheduled tile pays disk + decompression each superstep,
+exactly the regime where pruning the schedule pays.  SSSP's relaxation
+waves thin out as distances settle — the late supersteps touch a
+handful of vertices, and a dense engine still scans every tile for
+them.
+
+Four configs over the same tiles:
+
+* ``dense``          — no pruning: every tile, every superstep (the
+                       paper's baseline engine).
+* ``bloom``          — bloom-filter probes only (the pre-existing
+                       approximate prune; false positives survive).
+* ``selective``      — active-vertex bitmap prune + bloom (GraphMP's
+                       exact selective scheduling; strictly ⊇ bloom).
+* ``selective-mmap`` — selective with ``vertex_store="mmap"`` replica
+                       arrays (semi-external vertex state); must be
+                       model-identical to ``selective`` — SEM mode
+                       changes where bytes live, not what is metered.
+
+Every config must produce bitwise-identical distances in the same
+number of supersteps.  Before writing the report the bench asserts the
+PR's acceptance claims: SSSP's sparse late frontiers skip ≥50% of tiles,
+and the modeled disk + decompression time shrinks in proportion to the
+scheduled-tile ratio.  ``modeled_job_s`` / ``converged`` are
+executor-invariant, so ``check_regress.py`` compares them exactly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py           # bench tier
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke   # CI smoke
+
+Emits ``BENCH_scale.json`` at the repository root by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from _common import REPO_ROOT, base_report, write_report
+
+NUM_SERVERS = 4
+
+# tier → (rmat scale, edge factor, cache bytes/server): bench crosses
+# the 10⁷-edge line the satellite spec pins (2**19 * 20 = 10,485,760
+# edges).  The cache is capped far below each tier's tile set so tiles
+# spill — the semi-external regime where the schedule prune shows up in
+# disk time, not just probe counts.
+TIERS = {"test": (13, 8.0, 1 << 14), "bench": (19, 20.0, 1 << 20)}
+
+CONFIGS = (
+    ("dense", dict(use_bloom_filters=False, selective_scheduling=False)),
+    ("bloom", dict(use_bloom_filters=True, selective_scheduling=False)),
+    ("selective", dict(use_bloom_filters=True, selective_scheduling=True)),
+    (
+        "selective-mmap",
+        dict(
+            use_bloom_filters=True,
+            selective_scheduling=True,
+            vertex_store="mmap",
+        ),
+    ),
+)
+
+
+def _modeled_costs(cluster):
+    """Cumulative metered volumes → aggregate SuperstepCost."""
+    from repro.metrics import CostModel
+
+    model = CostModel(cluster.spec)
+    return model.superstep_time([s.counters for s in cluster.servers])
+
+
+def run_config(graph, source, label, overrides, cache_bytes):
+    from repro.apps import SSSP
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.core import MPE, MPEConfig, SPE
+
+    cluster = Cluster(ClusterSpec(num_servers=NUM_SERVERS))
+    spe = SPE(cluster.dfs)
+    tile_edges = max(1, graph.num_edges // (48 * NUM_SERVERS))
+    manifest = spe.preprocess(graph, tile_edges, name=graph.name)
+    config = MPEConfig(cache_capacity_bytes=cache_bytes, **overrides)
+    mpe = MPE(cluster, manifest, config)
+    start = time.perf_counter()
+    result = mpe.run(SSSP(source=source))
+    wall_s = time.perf_counter() - start
+    cost = _modeled_costs(cluster)
+    skipped = sum(s.tiles_skipped for s in result.supersteps)
+    processed = sum(s.tiles_processed for s in result.supersteps)
+    row = {
+        "config": label,
+        "num_servers": NUM_SERVERS,
+        "num_tiles": manifest.num_tiles,
+        "supersteps": result.num_supersteps,
+        "converged": result.converged,
+        "tiles_scheduled": processed,
+        "tiles_skipped": skipped,
+        "skip_ratio": skipped / (skipped + processed) if processed else 0.0,
+        "skip_per_superstep": [s.tiles_skipped for s in result.supersteps],
+        "disk_read_bytes": sum(
+            s.counters.disk_read + s.counters.disk_read_random
+            for s in cluster.servers
+        ),
+        "modeled_job_s": cost.total_s,
+        "modeled_disk_s": cost.disk_s,
+        "modeled_decompress_s": cost.decompress_s,
+        "modeled_probe_s": cost.probe_s,
+        "wall_s": round(wall_s, 3),
+        "vertex_store": config.vertex_store,
+    }
+    values = result.values.copy()
+    cluster.close()
+    return values, row
+
+
+def _assert_claims(rows: dict) -> None:
+    """The PR's acceptance criteria — fail loudly before writing."""
+    dense, selective = rows["dense"], rows["selective"]
+    # Exact prune subsumes the approximate one.
+    if selective["tiles_skipped"] < rows["bloom"]["tiles_skipped"]:
+        raise SystemExit(
+            "bitmap prune skipped fewer tiles than bloom alone — the "
+            "exact prune must be a superset"
+        )
+    # Sparse late frontiers: the final superstep must skip >= 50%.
+    total = selective["num_tiles"]
+    last_skips = selective["skip_per_superstep"][-1]
+    if last_skips < 0.5 * total:
+        raise SystemExit(
+            f"final superstep skipped {last_skips}/{total} tiles — the "
+            "sparse-frontier claim (>=50%) does not hold"
+        )
+    # Disk + decompress shrink in proportion to the scheduled-tile
+    # ratio (tiles are near-uniform by construction, so the byte ratio
+    # tracks the count ratio within a loose band).
+    cost_ratio = (
+        selective["modeled_disk_s"] + selective["modeled_decompress_s"]
+    ) / (dense["modeled_disk_s"] + dense["modeled_decompress_s"])
+    sched_ratio = selective["tiles_scheduled"] / dense["tiles_scheduled"]
+    if abs(cost_ratio - sched_ratio) > 0.15:
+        raise SystemExit(
+            f"modeled disk+decompress ratio {cost_ratio:.3f} is not "
+            f"proportional to the scheduled-tile ratio {sched_ratio:.3f}"
+        )
+    # SEM mode changes storage, not the model.
+    for field in ("modeled_job_s", "tiles_skipped", "disk_read_bytes"):
+        if selective[field] != rows["selective-mmap"][field]:
+            raise SystemExit(
+                f"mem vs mmap drifted on {field} — vertex_store must be "
+                "model-invisible"
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tier", default="bench", choices=["test", "bench"])
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_scale.json"), help="output JSON"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny fast run for CI: test tier"
+    )
+    args = parser.parse_args()
+
+    from repro.graph import rmat_graph_streamed
+
+    tier = "test" if args.smoke else args.tier
+    scale, edge_factor, cache_bytes = TIERS[tier]
+    start = time.perf_counter()
+    graph = rmat_graph_streamed(
+        scale=scale, edge_factor=edge_factor, seed=42, weighted=True
+    )
+    gen_s = time.perf_counter() - start
+    print(
+        f"streamed {graph.name}: |V|={graph.num_vertices} "
+        f"|E|={graph.num_edges} in {gen_s:.1f}s"
+    )
+    source = int(np.argmax(graph.out_degrees))
+
+    report = base_report(
+        "scale",
+        dataset=graph.name,
+        tier=tier,
+        program="sssp",
+        num_servers=NUM_SERVERS,
+        num_edges=graph.num_edges,
+        cache_capacity_bytes=cache_bytes,
+        source=source,
+    )
+
+    baseline_values = None
+    rows: dict[str, dict] = {}
+    for label, overrides in CONFIGS:
+        values, row = run_config(graph, source, label, overrides, cache_bytes)
+        if baseline_values is None:
+            baseline_values = values
+        elif not np.array_equal(values, baseline_values):
+            raise SystemExit(
+                f"values diverged under config {label!r} — selective "
+                "scheduling must not change any answer"
+            )
+        rows[label] = row
+        report["results"].append(row)
+        print(
+            f"{label:<15} skipped={row['tiles_skipped']:>4}"
+            f"/{row['tiles_skipped'] + row['tiles_scheduled']:<5} "
+            f"disk={row['disk_read_bytes']:>12}B "
+            f"modeled={row['modeled_job_s']:.3f}s "
+            f"(disk {row['modeled_disk_s']:.3f} + decomp "
+            f"{row['modeled_decompress_s']:.3f} + probe "
+            f"{row['modeled_probe_s']:.5f}) wall={row['wall_s']:.1f}s"
+        )
+
+    _assert_claims(rows)
+    sel, dense = rows["selective"], rows["dense"]
+    report["claims"] = {
+        "final_superstep_skip_ratio": (
+            sel["skip_per_superstep"][-1] / sel["num_tiles"]
+        ),
+        "scheduled_tile_ratio": (
+            sel["tiles_scheduled"] / dense["tiles_scheduled"]
+        ),
+        "disk_decompress_ratio": (
+            (sel["modeled_disk_s"] + sel["modeled_decompress_s"])
+            / (dense["modeled_disk_s"] + dense["modeled_decompress_s"])
+        ),
+    }
+    write_report(report, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

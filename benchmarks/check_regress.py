@@ -2,8 +2,8 @@
 """Regression gate: fresh bench runs vs the committed ``BENCH_*.json``.
 
 Re-runs the JSON-emitting benches (``bench_hotpath.py``, its
-``--sweep`` mode, ``bench_faults.py``, ``bench_prefetch.py``) at the
-*baseline's own tier* and
+``--sweep`` mode, ``bench_faults.py``, ``bench_prefetch.py``,
+``bench_scale.py``) at the *baseline's own tier* and
 compares row by row:
 
 * **Wall-clock rows** (hotpath / procpool): fail when a fresh row's
@@ -13,9 +13,10 @@ compares row by row:
   parallelism — matches the baseline's, so a 1-core container never
   "regresses" against a multi-core recording (or vice versa); mismatched
   rows are reported as skipped, not failed.
-* **Deterministic rows** (faults): re-executed supersteps, recovery
-  bytes, checkpoint counts/bytes, restarts, and the modeled job seconds
-  are executor- and host-invariant, so they must match the baseline
+* **Deterministic rows** (faults, scale): re-executed supersteps,
+  recovery bytes, checkpoint counts/bytes, restarts, skipped-tile
+  counts, metered disk bytes, and the modeled job seconds are
+  executor- and host-invariant, so they must match the baseline
   *exactly*.  Any drift is a correctness regression, whatever its sign.
 
 ``--report-only`` prints the same comparison but always exits 0 — CI's
@@ -70,13 +71,20 @@ BENCHMARKS = {
         ("config", "num_servers"),
         False,
     ),
+    "scale": (
+        "BENCH_scale.json",
+        ["bench_scale.py"],
+        ("config",),
+        True,
+    ),
 }
 
 # Host metadata that must agree before a wall-clock comparison means
 # anything (the 1-core tolerance of the satellite spec).
 _META_KEYS = ("executor", "worker_width", "effective_parallelism")
 
-# Executor-invariant fields compared exactly for deterministic benches.
+# Executor-invariant fields compared exactly for deterministic benches
+# (absent fields are skipped, so faults/scale rows share the list).
 _EXACT_KEYS = (
     "restarts",
     "reexecuted_supersteps",
@@ -84,6 +92,8 @@ _EXACT_KEYS = (
     "recovery_read_bytes",
     "checkpoint_files",
     "checkpoint_bytes",
+    "tiles_skipped",
+    "disk_read_bytes",
     "modeled_job_s",
     "converged",
 )

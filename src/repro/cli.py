@@ -100,6 +100,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="background I/O threads per server feeding the pipeline",
     )
     parser.add_argument(
+        "--selective",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="selective scheduling: skip tiles whose source vertices "
+        "are all inactive (exact active-vertex bitmap; GraphMP)",
+    )
+    parser.add_argument(
+        "--vertex-store",
+        choices=("mem", "mmap"),
+        default="mem",
+        help="vertex replica backing: in-RAM arrays or file-backed "
+        "memmaps (semi-external memory — scales past RAM)",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="JSON",
@@ -172,6 +186,8 @@ def _run(graph: Graph, program, args):
         num_workers=args.num_workers,
         prefetch_depth=args.prefetch_depth,
         io_threads=args.io_threads,
+        selective_scheduling=args.selective,
+        vertex_store=args.vertex_store,
     )
     with GraphH(
         num_servers=args.servers,
@@ -253,6 +269,8 @@ def cmd_wcc(args) -> int:
         num_workers=args.num_workers,
         prefetch_depth=args.prefetch_depth,
         io_threads=args.io_threads,
+        selective_scheduling=args.selective,
+        vertex_store=args.vertex_store,
     )
     with GraphH(
         num_servers=args.servers,
@@ -369,6 +387,8 @@ def cmd_chaos(args) -> int:
                 max_supersteps=args.max_supersteps,
                 prefetch_depth=args.prefetch_depth,
                 io_threads=args.io_threads,
+                selective_scheduling=args.selective,
+                vertex_store=args.vertex_store,
             ),
         )
 
@@ -461,6 +481,8 @@ def cmd_trace(args) -> int:
         num_workers=args.num_workers,
         prefetch_depth=args.prefetch_depth,
         io_threads=args.io_threads,
+        selective_scheduling=args.selective,
+        vertex_store=args.vertex_store,
     )
     with GraphH(
         num_servers=args.servers,
@@ -610,6 +632,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tile prefetch pipeline depth (0 = off)")
     t.add_argument("--io-threads", type=int, default=1, metavar="T",
                    help="background I/O threads per server")
+    t.add_argument("--selective", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="bitmap selective scheduling (GraphMP)")
+    t.add_argument("--vertex-store", choices=("mem", "mmap"), default="mem",
+                   help="vertex replica backing: RAM or file-backed memmaps")
     t.add_argument(
         "--out", default=None, metavar="JSON",
         help="Chrome trace-event JSON (validated after writing)",
@@ -659,6 +686,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tile prefetch pipeline depth (0 = off)")
     c.add_argument("--io-threads", type=int, default=1, metavar="T",
                    help="background I/O threads per server")
+    c.add_argument("--selective", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="bitmap selective scheduling (GraphMP)")
+    c.add_argument("--vertex-store", choices=("mem", "mmap"), default="mem",
+                   help="vertex replica backing: RAM or file-backed memmaps")
     c.add_argument("--crash-at", type=int, default=None, metavar="STEP",
                    help="crash a server at this superstep")
     c.add_argument("--crash-server", type=int, default=0)

@@ -39,6 +39,11 @@ class Counters:
     # message-passing engines; GraphH's dense-array broadcast application
     # is bandwidth-bound and deliberately charges nothing here.
     messages_processed: int = 0
+    # Tiles pruned from the schedule before any disk/decompress work
+    # (bitmap or bloom — see selective scheduling, GraphMP §III).  The
+    # cost model charges each one a small schedule-probe time instead
+    # of a load.
+    tiles_skipped: int = 0
     decompressed: dict[str, int] = field(default_factory=dict)
     compressed: dict[str, int] = field(default_factory=dict)
 
@@ -116,6 +121,7 @@ class Counters:
         self.edges_processed += other.edges_processed
         self.messages_sent += other.messages_sent
         self.messages_processed += other.messages_processed
+        self.tiles_skipped += other.tiles_skipped
         self.faults_injected += other.faults_injected
         self.fault_retries += other.fault_retries
         self.fault_delay_s += other.fault_delay_s
@@ -145,6 +151,7 @@ class Counters:
         self.edges_processed += other.edges_processed
         self.messages_sent += other.messages_sent
         self.messages_processed += other.messages_processed
+        self.tiles_skipped += other.tiles_skipped
         self.faults_injected += other.faults_injected
         self.fault_retries += other.fault_retries
         self.fault_delay_s += other.fault_delay_s
@@ -171,6 +178,7 @@ class Counters:
             "edges_processed": self.edges_processed,
             "messages_sent": self.messages_sent,
             "messages_processed": self.messages_processed,
+            "tiles_skipped": self.tiles_skipped,
             "faults_injected": self.faults_injected,
             "fault_retries": self.fault_retries,
             "fault_delay_s": self.fault_delay_s,
@@ -203,6 +211,7 @@ class CounterSnapshot:
     disk_write: int
     edges_processed: int
     messages_processed: int
+    tiles_skipped: int
     fault_delay_s: float
     decompressed: dict[str, int]
     compressed: dict[str, int]
@@ -223,6 +232,7 @@ class CounterSnapshot:
             disk_write=c.disk_write,
             edges_processed=c.edges_processed,
             messages_processed=c.messages_processed,
+            tiles_skipped=c.tiles_skipped,
             fault_delay_s=c.fault_delay_s,
             decompressed=dict(c.decompressed),
             compressed=dict(c.compressed),
@@ -243,6 +253,7 @@ class CounterSnapshot:
         d.disk_write = c.disk_write - self.disk_write
         d.edges_processed = c.edges_processed - self.edges_processed
         d.messages_processed = c.messages_processed - self.messages_processed
+        d.tiles_skipped = c.tiles_skipped - self.tiles_skipped
         d.fault_delay_s = c.fault_delay_s - self.fault_delay_s
         for codec, n in c.decompressed.items():
             prev = self.decompressed.get(codec, 0)

@@ -38,6 +38,11 @@ class ClusterSpec:
     # (UK-2007) and 7.8x (Twitter-2010) — Figs 1b / 9a / 9b.
     messages_per_sec_per_worker: float = 2.5e6
     superstep_sync_overhead_s: float = 0.05
+    # Schedule-probe cost per *skipped* tile: checking an in-memory
+    # bitmap/bloom summary instead of loading the tile.  GraphMP §III
+    # treats this as negligible but nonzero; a few µs keeps selective
+    # scheduling honest without dominating anything.
+    tile_probe_s: float = 5e-6
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
@@ -52,6 +57,7 @@ class ClusterSpec:
             "network_bps",
             "compute_edges_per_sec_per_worker",
             "messages_per_sec_per_worker",
+            "tile_probe_s",
         ):
             if getattr(self, field_name) <= 0:
                 raise ValueError(f"{field_name} must be positive")

@@ -61,6 +61,13 @@ class GraphH:
     io_threads:
         Background I/O threads per server feeding the pipeline;
         overlays ``config`` when given.
+    selective:
+        GraphMP-style selective scheduling (exact active-vertex bitmap
+        tile pruning); overlays ``config.selective_scheduling`` when
+        given.  See :mod:`repro.runtime.active`.
+    vertex_store:
+        ``"mem"`` or ``"mmap"`` (semi-external-memory replica arrays);
+        overlays ``config`` when given.
     trace:
         ``True`` enables the observability subsystem (:mod:`repro.obs`):
         every run records spans/instants into :attr:`tracer` and bridges
@@ -84,6 +91,8 @@ class GraphH:
         num_workers: int | None = None,
         prefetch_depth: int | None = None,
         io_threads: int | None = None,
+        selective: bool | None = None,
+        vertex_store: str | None = None,
         trace=False,
         trace_out: str | None = None,
     ) -> None:
@@ -99,6 +108,10 @@ class GraphH:
             overrides["prefetch_depth"] = prefetch_depth
         if io_threads is not None:
             overrides["io_threads"] = io_threads
+        if selective is not None:
+            overrides["selective_scheduling"] = selective
+        if vertex_store is not None:
+            overrides["vertex_store"] = vertex_store
         if overrides:
             self.config = dataclasses.replace(self.config, **overrides)
         self.tracer = None

@@ -40,6 +40,8 @@ from repro.comm.messages import DENSE, SPARSE, SPARSITY_THRESHOLD
 from repro.core.spe import SPE, TileManifest
 from repro.core.vertexstore import (
     AllInAllStore,
+    MmapOnDemandStore,
+    MmapVertexStore,
     OnDemandStore,
     SharedOnDemandStore,
     SharedVertexStore,
@@ -56,6 +58,8 @@ from repro.runtime import (
     make_executor,
     process_runtime_available,
 )
+from repro.runtime.active import ActiveBitmap, TileSourceSummary
+from repro.storage.backing import BackingStore
 from repro.storage.cache import select_cache_mode
 from repro.utils.bloom import ALL_KEYS, BloomFilter, HashedKeys, hash_keys
 from repro.utils.segments import merge_sorted_unique, segment_reduce
@@ -72,6 +76,13 @@ class MPEConfig:
     sparsity_threshold: float = SPARSITY_THRESHOLD
     use_bloom_filters: bool = True
     bloom_false_positive_rate: float = 0.01
+    # GraphMP-style selective scheduling: prune tiles from the schedule
+    # with an *exact* active-vertex bitmap before the (approximate)
+    # bloom probe ever runs.  Strictly more skips than bloom alone
+    # (differing only on bloom false positives), and a pruned tile is
+    # never double-probed.  The REPRO_SELECTIVE environment variable
+    # overrides this at run time.
+    selective_scheduling: bool = True
     replication_policy: str = "aa"  # "aa" (paper default, §IV-A) | "od"
     # Stage-two tile placement: "round_robin" (paper §III-C.1) or
     # "balanced" (LPT over tile sizes — better stragglers on skew).
@@ -109,6 +120,14 @@ class MPEConfig:
     prefetch_depth: int = 0
     # Background I/O threads per server feeding the pipeline.
     io_threads: int = 1
+    # Where the per-server vertex replica arrays live: "mem" (dense
+    # in-RAM arrays, the default) or "mmap" (GraphMP's semi-external-
+    # memory mode — file-backed memmaps from repro.storage.backing, so
+    # the N×|V| replicas stop being the memory ceiling).  mmap segments
+    # are MAP_SHARED and therefore fork-shareable: the process executor
+    # works unchanged, as do checkpoint/restore.  Results and metering
+    # are bitwise identical in both modes.
+    vertex_store: str = "mem"
 
     def __post_init__(self) -> None:
         if self.comm_mode not in ("hybrid", "dense", "sparse"):
@@ -137,6 +156,8 @@ class MPEConfig:
             raise ValueError("prefetch_depth must be >= 0")
         if self.io_threads < 1:
             raise ValueError("io_threads must be >= 1")
+        if self.vertex_store not in ("mem", "mmap"):
+            raise ValueError('vertex_store must be "mem" or "mmap"')
 
 
 @dataclass
@@ -170,6 +191,10 @@ class RunResult:
     # Effective tile-prefetch pipeline depth this run executed with
     # (0 = pipeline off; REPRO_PREFETCH overrides already applied).
     prefetch_depth: int = 0
+    # Whether bitmap selective scheduling was active (REPRO_SELECTIVE
+    # override already applied) and which vertex-store backing ran.
+    selective: bool = False
+    vertex_store: str = "mem"
 
     @property
     def num_supersteps(self) -> int:
@@ -183,6 +208,8 @@ class RunResult:
             "decoded_cache_hits": self.decoded_cache_hits,
             "decoded_cache_misses": self.decoded_cache_misses,
             "prefetch_depth": self.prefetch_depth,
+            "selective": self.selective,
+            "vertex_store": self.vertex_store,
         }
 
     def trace(self) -> list[dict]:
@@ -208,6 +235,7 @@ class RunResult:
                     "compute": s.modeled.compute_s,
                     "sync": s.modeled.sync_s,
                     "fault": s.modeled.fault_s,
+                    "probe": s.modeled.probe_s,
                     "total": s.modeled.total_s,
                     "overlap": s.modeled.overlap_s,
                 }
@@ -277,12 +305,22 @@ class MPE:
         self.tracer = tracer
         self._obs_wall = None
         self._obs_prefetch = None
+        self._obs_skipped = None
+        self._obs_scheduled = None
         # Effective prefetch knobs for the current run; re-resolved at
         # the top of run() (REPRO_PREFETCH override) *before* tracer
         # wiring and before the process pool forks, so workers inherit
         # the resolved values.
         self._prefetch_depth = self.config.prefetch_depth
         self._io_threads = self.config.io_threads
+        # Effective selective-scheduling flag; re-resolved at the top of
+        # run() (REPRO_SELECTIVE override) before setup builds summaries.
+        self._selective = self.config.selective_scheduling
+        # Per-tile exact source summaries (tile_id -> TileSourceSummary)
+        # backing the bitmap prune; built at setup when selective
+        # scheduling is on, lazily backfilled if the env override turns
+        # it on after setup already ran.
+        self._summaries: dict[int, TileSourceSummary] = {}
         self.spe = SPE(cluster.dfs)
         self._tiles_fetched = False
         # Per-server: list of (tile_id, blob_name, nbytes); bloom filters.
@@ -366,10 +404,20 @@ class MPE:
                 if prefetch_on
                 else None
             )
+            self._obs_skipped = tracer.metrics.counter(
+                "repro_tiles_skipped",
+                "tiles pruned from the schedule (bitmap or bloom)",
+            ).labels()
+            self._obs_scheduled = tracer.metrics.counter(
+                "repro_tiles_scheduled",
+                "tiles that survived schedule pruning and were processed",
+            ).labels()
         else:
             self.channel.obs_bytes = None
             self._obs_wall = None
             self._obs_prefetch = None
+            self._obs_skipped = None
+            self._obs_scheduled = None
 
     # ------------------------------------------------------------------
     # Setup: fetch tiles, build blooms, size caches
@@ -407,12 +455,18 @@ class MPE:
             server.store_blob(name, blob)
             self._assignments[server_id].append((tile_id, name, len(blob)))
             per_server_bytes[server_id] += len(blob)
-            if self.config.use_bloom_filters or self.config.replication_policy == "od":
+            if (
+                self.config.use_bloom_filters
+                or self._selective
+                or self.config.replication_policy == "od"
+            ):
                 tile = Tile.from_bytes(blob)
                 if self.config.use_bloom_filters:
                     self._blooms[tile_id] = tile.build_bloom_filter(
                         self.config.bloom_false_positive_rate
                     )
+                if self._selective:
+                    self._summaries[tile_id] = TileSourceSummary.from_tile(tile)
                 if self.config.replication_policy == "od":
                     self._server_sources[server_id].append(tile.source_vertices)
         self._tile_nbytes_total = sum(per_server_bytes)
@@ -474,6 +528,7 @@ class MPE:
         # effective depth, and the process pool's forked workers inherit
         # these fields by value.
         self._prefetch_depth, self._io_threads = self._resolve_prefetch()
+        self._selective = self._resolve_selective()
         self._wire_tracer()
         ebuf = self.tracer.engine() if self.tracer is not None else None
         if ebuf is not None:
@@ -483,6 +538,10 @@ class MPE:
             ebuf.close_to(0)
             ebuf.begin("run", "run", program=program.name)
         self.setup()
+        # setup() may have run before REPRO_SELECTIVE flipped selective
+        # on (it is idempotent); backfill the source summaries from the
+        # already-fetched blobs, unmetered (host-side schedule state).
+        self._ensure_summaries()
         # A supervised retry may leave half-delivered broadcasts from an
         # aborted superstep behind; every run starts with clean mailboxes.
         self.channel.clear_all()
@@ -530,8 +589,22 @@ class MPE:
         cleanup: list = []
         executor = None
         try:
+            # Semi-external-memory mode: one run-scoped BackingStore
+            # under the cluster tempdir holds every replica's files.
+            # Appended to cleanup *before* the stores, so LIFO teardown
+            # drops the stores' map views first, files last.
+            use_mmap = cfg.vertex_store == "mmap"
+            backing = None
+            if use_mmap:
+                backing = BackingStore(root=self.cluster.root)
+                cleanup.append(backing.release)
             deg_shared = None
-            if use_process and cfg.replication_policy == "aa" and degrees is not None:
+            if (
+                use_process
+                and not use_mmap
+                and cfg.replication_policy == "aa"
+                and degrees is not None
+            ):
                 # AA replicas share one read-only degree segment — a
                 # host-side dedup; each store still *accounts* a full
                 # per-replica copy (§IV-A).
@@ -542,7 +615,12 @@ class MPE:
             for server in servers:
                 if cfg.replication_policy == "aa":
                     # All-in-All: full dense arrays on every server.
-                    if use_process:
+                    # mmap maps are MAP_SHARED and fork-shareable, so
+                    # they serve every executor, process included.
+                    if use_mmap:
+                        store = MmapVertexStore(init_values, degrees, backing)
+                        cleanup.append(store.release)
+                    elif use_process:
                         store = SharedVertexStore(
                             init_values, degrees, degrees_shared=deg_shared
                         )
@@ -559,7 +637,12 @@ class MPE:
                         if pieces
                         else np.zeros(0, dtype=np.int64)
                     )
-                    if use_process:
+                    if use_mmap:
+                        store = MmapOnDemandStore(
+                            init_values, degrees, local, backing
+                        )
+                        cleanup.append(store.release)
+                    elif use_process:
                         store = SharedOnDemandStore(init_values, degrees, local)
                         cleanup.append(store.release)
                     else:
@@ -616,9 +699,21 @@ class MPE:
                 # server-id order, exactly like the serial schedule.
                 if ebuf is not None:
                     ebuf.begin("compute", "phase")
+                # Selective scheduling: resolve the exact bitmap prune
+                # once per superstep, in the parent, so every executor
+                # (and the parent-side fault replay) applies the same
+                # skip decisions in the same order.
+                skip_sets = self._compute_skip_sets(
+                    superstep, prev_updated, num_vertices
+                )
                 if use_process:
                     steps = self._process_compute_phase(
-                        executor, servers, superstep, prev_updated, num_vertices
+                        executor,
+                        servers,
+                        superstep,
+                        prev_updated,
+                        num_vertices,
+                        skip_sets,
                     )
                 else:
                     # Hash the updated set once per superstep: bloom probe
@@ -637,7 +732,13 @@ class MPE:
                         )
                     steps = executor.map(
                         lambda server: self._compute_server_step(
-                            program, server, superstep, prev_hashed
+                            program,
+                            server,
+                            superstep,
+                            prev_hashed,
+                            skip_sets[server.server_id]
+                            if skip_sets is not None
+                            else None,
                         ),
                         servers,
                     )
@@ -659,6 +760,9 @@ class MPE:
                     if step.payload is not None:
                         message_modes.append(step.payload[0])
                         self.channel.broadcast(server.server_id, step.payload)
+                if self._obs_skipped is not None:
+                    self._obs_skipped.inc(tiles_skipped)
+                    self._obs_scheduled.inc(tiles_processed)
                 if ebuf is not None:
                     ebuf.end()  # broadcast
                     ebuf.begin("sync", "phase")
@@ -816,6 +920,8 @@ class MPE:
             decoded_cache_hits=decoded_hits,
             decoded_cache_misses=decoded_misses,
             prefetch_depth=self._prefetch_depth,
+            selective=self._selective,
+            vertex_store=cfg.vertex_store,
         )
 
     def respawn_server(self, server_id: int) -> int:
@@ -897,6 +1003,73 @@ class MPE:
         if depth < 0:
             raise ValueError("REPRO_PREFETCH must be >= 0")
         return depth, cfg.io_threads
+
+    def _resolve_selective(self) -> bool:
+        """Resolve this run's selective-scheduling flag.
+
+        ``REPRO_SELECTIVE`` (CI's forcing flag, mirroring
+        ``REPRO_PREFETCH``/``REPRO_EXECUTOR``) overrides the config.
+        """
+        raw = os.environ.get("REPRO_SELECTIVE", "").strip().lower()
+        if not raw:
+            return self.config.selective_scheduling
+        if raw in ("1", "true", "on", "yes"):
+            return True
+        if raw in ("0", "false", "off", "no"):
+            return False
+        raise ValueError(
+            f"REPRO_SELECTIVE must be a boolean flag, got {raw!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Selective scheduling (repro.runtime.active; GraphMP port)
+    # ------------------------------------------------------------------
+    def _ensure_summaries(self) -> None:
+        """Build any missing per-tile source summaries from the fetched
+        blobs (host plumbing: ``disk.peek`` is unmetered).
+
+        Normally a no-op — :meth:`setup` builds them while it already
+        holds each decoded tile — this covers selective scheduling
+        switched on via ``REPRO_SELECTIVE`` after setup ran.
+        """
+        if not self._selective:
+            return
+        for server in self.cluster.servers:
+            for tile_id, name, _nbytes in self._assignments[server.server_id]:
+                if tile_id not in self._summaries:
+                    tile = Tile.from_bytes(server.disk.peek(name))
+                    self._summaries[tile_id] = TileSourceSummary.from_tile(tile)
+
+    def _compute_skip_sets(
+        self, superstep: int, prev_updated, num_vertices: int
+    ) -> "list[frozenset[int]] | None":
+        """Per-server sets of tile ids the active bitmap proves dead
+        this superstep, or ``None`` when the prune cannot fire
+        (selective off, superstep 0 / resume-with-no-set, or a dense
+        frontier where nothing can be skipped).
+
+        Resolved once, parent-side: every executor's sweep (and the
+        fault replay in :meth:`_resolve_compute_faults`) consumes the
+        same frozen decisions, which is what keeps skip schedules —
+        and hence fault coordinates — executor-independent.
+        """
+        if not self._selective or superstep == 0 or prev_updated is None:
+            return None
+        bitmap = ActiveBitmap(prev_updated, num_vertices)
+        if bitmap.dense:
+            # Every vertex updated: no tile has an all-inactive source
+            # set (mirrors the bloom ALL_KEYS fast path — empty tiles
+            # are left to the bloom probe, same as with selective off).
+            return None
+        skip_sets = []
+        for server_id in range(len(self._assignments)):
+            skips = frozenset(
+                tile_id
+                for tile_id, _name, _nbytes in self._assignments[server_id]
+                if not self._summaries[tile_id].intersects(bitmap)
+            )
+            skip_sets.append(skips)
+        return skip_sets
 
     def _start_process_pool(
         self, program, num_vertices: int, num_workers: int, cleanup: list
@@ -1030,10 +1203,10 @@ class MPE:
         server = self.cluster.servers[server_id]
         snap = CounterSnapshot.capture(server)
         if tag == "compute":
-            superstep, spec = payload
+            superstep, spec, skips = payload
             prev_hashed = self._worker_hashed_keys(superstep, spec)
             step = self._compute_server_step(
-                self._run_program, server, superstep, prev_hashed
+                self._run_program, server, superstep, prev_hashed, skips
             )
             # Own updates stay worker-side for the apply phase; the
             # parent gets its own copy in the result for broadcast
@@ -1114,7 +1287,13 @@ class MPE:
         raise ValueError(f"unknown phase {tag!r}")
 
     def _process_compute_phase(
-        self, executor, servers, superstep: int, prev_updated, num_vertices: int
+        self,
+        executor,
+        servers,
+        superstep: int,
+        prev_updated,
+        num_vertices: int,
+        skip_sets: "list[frozenset[int]] | None" = None,
     ) -> "list[_ProcessStep]":
         """Parent-side compute dispatch for the process executor."""
         cfg = self.config
@@ -1133,9 +1312,19 @@ class MPE:
                 prev_hashed = hash_keys(prev_updated)
             else:
                 prev_hashed = None
-            self._resolve_compute_faults(servers, superstep, prev_hashed)
+            self._resolve_compute_faults(
+                servers, superstep, prev_hashed, skip_sets
+            )
         steps = executor.run_phase(
-            "compute", [(superstep, spec)] * len(servers)
+            "compute",
+            [
+                (
+                    superstep,
+                    spec,
+                    skip_sets[s.server_id] if skip_sets is not None else None,
+                )
+                for s in servers
+            ],
         )
         for server, step in zip(servers, steps):
             self._merge_worker_step(server, step)
@@ -1148,7 +1337,9 @@ class MPE:
                 )
         return steps
 
-    def _resolve_compute_faults(self, servers, superstep, prev_hashed) -> None:
+    def _resolve_compute_faults(
+        self, servers, superstep, prev_hashed, skip_sets=None
+    ) -> None:
         """Fire compute-phase fault decisions in the parent, in serial
         sweep order, before dispatching to workers.
 
@@ -1174,18 +1365,24 @@ class MPE:
             ):
                 continue
             blob_name = self._first_loaded_blob(
-                server.server_id, superstep, prev_hashed
+                server.server_id,
+                superstep,
+                prev_hashed,
+                skip_sets[server.server_id] if skip_sets is not None else None,
             )
             if blob_name is not None:
                 injector.on_tile_load(server, blob_name)
 
     def _first_loaded_blob(
-        self, server_id: int, superstep: int, prev_hashed
+        self, server_id: int, superstep: int, prev_hashed, skips=None
     ) -> str | None:
         """The first tile blob this server's sweep would actually load
-        (bloom skips applied) — the parent-side stand-in for the
-        worker's first ``on_tile_load`` coordinate."""
+        (bitmap then bloom skips applied, in sweep order) — the
+        parent-side stand-in for the worker's first ``on_tile_load``
+        coordinate."""
         for tile_id, blob_name, _nbytes in self._assignments[server_id]:
+            if skips is not None and tile_id in skips:
+                continue
             if (
                 superstep > 0
                 and prev_hashed is not None
@@ -1275,6 +1472,7 @@ class MPE:
         server,
         superstep: int,
         prev_hashed: "HashedKeys | None",
+        skips: "frozenset[int] | None" = None,
     ) -> "_ServerStep":
         """One server's tile sweep: gather/apply + staged broadcast.
 
@@ -1286,18 +1484,20 @@ class MPE:
         ``prev_hashed`` carries the previous superstep's updated-vertex
         set pre-hashed for bloom probing — or ``ALL_KEYS`` when every
         vertex updated, or ``None`` when filters are off / there is no
-        previous superstep.
+        previous superstep.  ``skips`` is the bitmap prune's verdict for
+        this server (tile ids proven dead), resolved parent-side by
+        :meth:`_compute_skip_sets`; ``None`` when the prune is off.
         """
         trace = server.trace
         if trace is None:
             return self._compute_server_sweep(
-                program, server, superstep, prev_hashed
+                program, server, superstep, prev_hashed, skips
             )
         d0 = trace.depth
         trace.begin("compute", "phase", superstep=superstep)
         try:
             return self._compute_server_sweep(
-                program, server, superstep, prev_hashed
+                program, server, superstep, prev_hashed, skips
             )
         finally:
             # close_to, not end: an injected fault aborting the sweep
@@ -1310,6 +1510,7 @@ class MPE:
         server,
         superstep: int,
         prev_hashed: "HashedKeys | None",
+        skips: "frozenset[int] | None" = None,
     ) -> "_ServerStep":
         """:meth:`_compute_server_step` body (split so the traced path
         can wrap it in an exception-safe span)."""
@@ -1324,18 +1525,32 @@ class MPE:
         tiles_processed = 0
         tiles_skipped = 0
         sort_fallbacks = 0
-        # Explicit schedule: bloom skips are resolved *before* anything
-        # is enqueued, so a skipped tile costs the pipeline zero I/O.
+        # Explicit schedule: all skips are resolved *before* anything is
+        # enqueued, so a skipped tile costs the pipeline zero I/O.  The
+        # exact bitmap prune runs first; a tile it kills is never probed
+        # against the bloom filter (no double accounting) — the bloom
+        # check only sees bitmap survivors.
         schedule: list[tuple[int, str, int]] = []
         for tile_id, blob_name, nbytes in self._assignments[server.server_id]:
+            if skips is not None and tile_id in skips:
+                tiles_skipped += 1
+                server.counters.tiles_skipped += 1
+                if trace is not None:
+                    trace.instant(
+                        "tile_skip", "schedule", tile=tile_id, reason="bitmap"
+                    )
+                continue
             if (
                 superstep > 0
                 and prev_hashed is not None
                 and not self._blooms[tile_id].might_intersect(prev_hashed)
             ):
                 tiles_skipped += 1
+                server.counters.tiles_skipped += 1
                 if trace is not None:
-                    trace.instant("bloom-skip", "bloom", tile=tile_id)
+                    trace.instant(
+                        "tile_skip", "schedule", tile=tile_id, reason="bloom"
+                    )
                 continue
             schedule.append((tile_id, blob_name, nbytes))
 

@@ -16,10 +16,14 @@ Both stores expose identical semantics; the GAB engine is policy-blind.
 The ``Shared*`` subclasses place the same arrays in
 ``multiprocessing.shared_memory`` segments (via
 :class:`repro.runtime.shm.SharedArray`) so the process executor's forked
-workers read and write vertex state zero-copy.  Indexing semantics are
-inherited unchanged, which is what makes process-parallel results
-bitwise identical to serial: the bytes live elsewhere, the arithmetic is
-the same.
+workers read and write vertex state zero-copy.  The ``Mmap*`` subclasses
+(GraphMP's semi-external-memory mode, ``MPEConfig.vertex_store="mmap"``)
+instead back the arrays with files from a
+:class:`~repro.storage.backing.BackingStore`, so the N×|V| replicas stop
+being the memory ceiling — the OS pages them on demand.  In both cases
+indexing semantics are inherited unchanged, which is what makes
+process-parallel and mmap-backed results bitwise identical to serial:
+the bytes live elsewhere, the arithmetic is the same.
 """
 
 from __future__ import annotations
@@ -191,6 +195,55 @@ class SharedVertexStore(AllInAllStore):
         for sh in self._owned:
             sh.release()
         self._owned = []
+
+
+class MmapVertexStore(AllInAllStore):
+    """AA store whose value/degree arrays are file-backed memmaps.
+
+    Built in the parent from a :class:`~repro.storage.backing.BackingStore`;
+    the maps are ``MAP_SHARED``, so they behave exactly like the shared
+    memory segments under the process executor (forked workers write
+    barrier updates straight into the file pages) while costing near
+    zero resident memory when idle.  ``memory_bytes`` still reports the
+    logical replica — the §IV-A accounting models the paper's testbed,
+    not the host's paging behaviour.
+    """
+
+    def __init__(
+        self,
+        init_values: np.ndarray,
+        out_degrees: np.ndarray | None,
+        backing,
+    ) -> None:
+        super().__init__(init_values, out_degrees)
+        self._values = backing.create(self._values, "values")
+        if self._out_degrees is not None:
+            self._out_degrees = backing.create(self._out_degrees, "degrees")
+
+    def release(self) -> None:
+        """Drop map views (the owning BackingStore deletes the files)."""
+        self._values = None
+        self._out_degrees = None
+
+
+class MmapOnDemandStore(OnDemandStore):
+    """OD store whose value/degree subsets are file-backed memmaps."""
+
+    def __init__(
+        self,
+        init_values: np.ndarray,
+        out_degrees: np.ndarray | None,
+        local_ids: np.ndarray,
+        backing,
+    ) -> None:
+        super().__init__(init_values, out_degrees, local_ids)
+        self._values = backing.create(self._values, "values")
+        if self._out_degrees is not None:
+            self._out_degrees = backing.create(self._out_degrees, "degrees")
+
+    def release(self) -> None:
+        self._values = None
+        self._out_degrees = None
 
 
 class SharedOnDemandStore(OnDemandStore):

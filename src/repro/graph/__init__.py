@@ -12,9 +12,13 @@ benchmark.
 from repro.graph.graph import Graph
 from repro.graph.generators import (
     chung_lu_graph,
+    erdos_renyi_edge_stream,
     erdos_renyi_graph,
+    graph_from_edge_stream,
     grid_graph,
+    rmat_edge_stream,
     rmat_graph,
+    rmat_graph_streamed,
     watts_strogatz_graph,
 )
 from repro.graph.io import (
@@ -30,6 +34,10 @@ from repro.graph.stats import GraphStats, compute_stats
 __all__ = [
     "Graph",
     "rmat_graph",
+    "rmat_graph_streamed",
+    "rmat_edge_stream",
+    "erdos_renyi_edge_stream",
+    "graph_from_edge_stream",
     "chung_lu_graph",
     "erdos_renyi_graph",
     "grid_graph",

@@ -42,11 +42,15 @@ class SuperstepCost:
     # Injected-fault delay (straggler slowdown, retry backoff, restart
     # waits) charged via ``Counters.fault_delay_s``; 0 in clean runs.
     fault_s: float = 0.0
+    # Schedule-probe time for tiles *skipped* by selective scheduling /
+    # bloom pruning: each skipped tile contributes zero disk/decompress
+    # but one in-memory summary check (``ClusterSpec.tile_probe_s``).
+    probe_s: float = 0.0
     # Overlap-aware estimate: with the tile prefetch pipeline hiding
     # I/O behind compute, per-server local time is
     # max(disk + decompress, compute) + fault instead of their sum —
-    # the non-overlappable residue (network + barrier sync) still adds.
-    # Reported *alongside* total_s; None when not computed.
+    # the non-overlappable residue (network + barrier sync + probe)
+    # still adds.  Reported *alongside* total_s; None when not computed.
     overlap_s: float | None = None
 
     @property
@@ -59,6 +63,7 @@ class SuperstepCost:
             + self.compute_s
             + self.sync_s
             + self.fault_s
+            + self.probe_s
         )
 
     def scaled_total(self, volume_factor: float) -> float:
@@ -66,11 +71,18 @@ class SuperstepCost:
 
         Used to report paper-scale estimates from scaled-analog runs:
         disk/network/decompress/compute volumes are linear in |V| and
-        |E|, while the synchronisation overhead is a per-superstep
-        constant and must not scale.
+        |E| (and skipped-tile probes in the tile count), while the
+        synchronisation overhead is a per-superstep constant and must
+        not scale.
         """
         return (
-            (self.disk_s + self.network_s + self.decompress_s + self.compute_s)
+            (
+                self.disk_s
+                + self.network_s
+                + self.decompress_s
+                + self.compute_s
+                + self.probe_s
+            )
             * volume_factor
             + self.sync_s
             + self.fault_s
@@ -123,6 +135,7 @@ class CostModel:
         net_s = (
             max(counters.net_sent, counters.net_recv) * k / spec.network_bps
         )
+        probe_s = counters.tiles_skipped * k * spec.tile_probe_s
         return SuperstepCost(
             disk_s=disk_s,
             network_s=net_s,
@@ -130,10 +143,12 @@ class CostModel:
             compute_s=compute_s,
             sync_s=0.0,
             fault_s=counters.fault_delay_s,
+            probe_s=probe_s,
             overlap_s=(
                 max(disk_s + decompress_s, compute_s)
                 + net_s
                 + counters.fault_delay_s
+                + probe_s
             ),
         )
 
@@ -145,13 +160,15 @@ class CostModel:
         # The straggler server gates the barrier; report its breakdown.
         slowest = max(
             costs,
-            key=lambda c: c.disk_s + c.decompress_s + c.compute_s + c.fault_s,
+            key=lambda c: (
+                c.disk_s + c.decompress_s + c.compute_s + c.fault_s + c.probe_s
+            ),
         )
         # Under overlap the straggler may be a *different* server (one
         # can be disk-bound, another compute-bound), so take the max of
         # the per-server overlap estimates independently.
         overlap_local = max(
-            max(c.disk_s + c.decompress_s, c.compute_s) + c.fault_s
+            max(c.disk_s + c.decompress_s, c.compute_s) + c.fault_s + c.probe_s
             for c in costs
         )
         net_s = max(c.network_s for c in costs)
@@ -163,5 +180,6 @@ class CostModel:
             compute_s=slowest.compute_s,
             sync_s=sync_s,
             fault_s=slowest.fault_s,
+            probe_s=slowest.probe_s,
             overlap_s=overlap_local + net_s + sync_s,
         )

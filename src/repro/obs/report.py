@@ -28,13 +28,16 @@ __all__ = [
 
 REPORT_SCHEMA = "repro-run-report/v1"
 
-# Table 3 column → SuperstepCost component(s).
+# Table 3 column → SuperstepCost component(s).  "probe" is the
+# selective-scheduling schedule-check time for skipped tiles (absent
+# from reports written before the selective PR; missing keys read 0).
 _PHASES = (
     ("load", ("disk",)),
     ("gather-apply", ("compute", "decompress")),
     ("broadcast", ("network",)),
     ("sync", ("sync",)),
     ("fault", ("fault",)),
+    ("probe", ("probe",)),
 )
 
 
@@ -110,7 +113,7 @@ def format_run_report(report: dict, max_rows: int = 40) -> str:
     rows = report.get("supersteps", [])
     header = (
         f"{'step':>5} {'load':>9} {'gather-apply':>13} {'broadcast':>10} "
-        f"{'sync':>8} {'fault':>8} {'total':>9}  {'updated':>9} "
+        f"{'sync':>8} {'fault':>8} {'probe':>8} {'total':>9}  {'updated':>9} "
         f"{'tiles p/s':>9} {'hit%':>5}"
     )
     lines = [
@@ -129,7 +132,8 @@ def format_run_report(report: dict, max_rows: int = 40) -> str:
         return (
             f"{row['superstep']:>5} {phases['load']:>9.4f} "
             f"{phases['gather-apply']:>13.4f} {phases['broadcast']:>10.4f} "
-            f"{phases['sync']:>8.4f} {phases['fault']:>8.4f} {total:>9.4f}  "
+            f"{phases['sync']:>8.4f} {phases['fault']:>8.4f} "
+            f"{phases['probe']:>8.4f} {total:>9.4f}  "
             f"{row['updated_vertices']:>9} "
             f"{row['tiles_processed']:>4}/{row['tiles_skipped']:<4} "
             f"{100.0 * row.get('cache_hit_ratio', 0.0):>5.1f}"
@@ -157,15 +161,18 @@ def format_run_report(report: dict, max_rows: int = 40) -> str:
         lines.append(
             f"{'mean*':>5} {mean['load']:>9.4f} {mean['gather-apply']:>13.4f} "
             f"{mean['broadcast']:>10.4f} {mean['sync']:>8.4f} "
-            f"{mean['fault']:>8.4f} {mean_total:>9.4f}"
+            f"{mean['fault']:>8.4f} {mean['probe']:>8.4f} {mean_total:>9.4f}"
             "   (* first superstep excluded, the paper's metric)"
         )
     totals = report.get("totals", {})
+    tiles_skipped = sum(r.get("tiles_skipped", 0) for r in rows)
+    tiles_processed = sum(r.get("tiles_processed", 0) for r in rows)
     lines.append(
         f"supersteps={report.get('num_supersteps')} "
         f"converged={report.get('converged')} "
         f"net={totals.get('net_bytes', 0)}B "
         f"disk={totals.get('disk_read_bytes', 0)}B "
+        f"tiles skipped={tiles_skipped}/{tiles_skipped + tiles_processed} "
         f"wall={totals.get('wall_s', 0.0):.3f}s"
     )
     runtime = report.get("runtime", {})

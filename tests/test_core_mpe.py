@@ -120,9 +120,17 @@ class TestEngineBehaviour:
         assert skipped > 0
 
     def test_no_skips_without_bloom(self, road):
-        config = MPEConfig(use_bloom_filters=False)
+        """With both prunes off (bloom *and* the bitmap schedule) every
+        tile is processed every superstep."""
+        config = MPEConfig(use_bloom_filters=False, selective_scheduling=False)
         result = run_graphh(road, SSSP(source=0), num_servers=2, config=config)
         assert all(s.tiles_skipped == 0 for s in result.supersteps)
+
+    def test_bitmap_skips_without_bloom(self, road):
+        """Selective scheduling prunes on its own, no bloom needed."""
+        config = MPEConfig(use_bloom_filters=False, selective_scheduling=True)
+        result = run_graphh(road, SSSP(source=0), num_servers=2, config=config)
+        assert sum(s.tiles_skipped for s in result.supersteps) > 0
 
     def test_first_superstep_never_skips(self, road):
         result = run_graphh(road, SSSP(source=0), num_servers=2, avg_tile_edges=4)

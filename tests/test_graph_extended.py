@@ -1,4 +1,5 @@
-"""Tests for binary I/O, Watts-Strogatz, and the run trace export."""
+"""Tests for binary I/O, Watts-Strogatz, streaming generation, and the
+run trace export."""
 
 import json
 
@@ -13,12 +14,71 @@ from repro.core import MPE, MPEConfig, SPE
 from repro.graph import (
     Graph,
     chung_lu_graph,
+    erdos_renyi_edge_stream,
+    graph_from_edge_stream,
     grid_graph,
     load_edge_list_binary,
+    rmat_edge_stream,
+    rmat_graph_streamed,
     save_edge_list_binary,
     save_edge_list_csv,
     watts_strogatz_graph,
 )
+
+
+class TestStreamingGenerators:
+    """Chunked edge streams: deterministic in (seed, chunk_edges), with
+    only the output arrays at |E| size."""
+
+    def test_streamed_rmat_is_deterministic(self):
+        a = rmat_graph_streamed(scale=10, edge_factor=8, seed=7, chunk_edges=500)
+        b = rmat_graph_streamed(scale=10, edge_factor=8, seed=7, chunk_edges=500)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)
+        assert a.num_edges == 8 * 1024
+
+    def test_chunks_are_consumption_independent(self):
+        """Chunk i depends only on (seed, chunk_edges) — reading a
+        prefix of the stream yields the same chunks as reading it all."""
+        full = list(rmat_edge_stream(scale=9, edge_factor=8, seed=3, chunk_edges=700))
+        prefix_iter = rmat_edge_stream(scale=9, edge_factor=8, seed=3, chunk_edges=700)
+        first = next(prefix_iter)
+        assert np.array_equal(first[0], full[0][0])
+        assert np.array_equal(first[1], full[0][1])
+        # Last chunk carries the remainder.
+        assert sum(s.size for s, _ in full) == 8 * 512
+
+    def test_weighted_stream_assembly(self):
+        g = rmat_graph_streamed(scale=8, edge_factor=4, seed=5, weighted=True)
+        assert g.is_weighted
+        assert g.weights.size == g.num_edges
+        assert (g.weights >= 1.0).all() and (g.weights < 10.0).all()
+
+    def test_er_stream_respects_bounds(self):
+        g = graph_from_edge_stream(
+            50,
+            300,
+            erdos_renyi_edge_stream(50, 300, seed=9, chunk_edges=77),
+            name="er-stream",
+        )
+        assert g.num_edges == 300
+        assert int(g.src.max()) < 50 and int(g.dst.max()) < 50
+
+    def test_edge_count_mismatch_is_an_error(self):
+        with pytest.raises(ValueError, match="more than"):
+            graph_from_edge_stream(
+                50, 100, erdos_renyi_edge_stream(50, 200, seed=1)
+            )
+        with pytest.raises(ValueError, match="expected"):
+            graph_from_edge_stream(
+                50, 300, erdos_renyi_edge_stream(50, 200, seed=1)
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="chunk_edges"):
+            list(rmat_edge_stream(scale=4, chunk_edges=0))
+        with pytest.raises(ValueError, match="scale"):
+            list(rmat_edge_stream(scale=-1))
 
 
 class TestBinaryIO:

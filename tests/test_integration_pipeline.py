@@ -89,7 +89,13 @@ class TestEndToEnd:
         for step in trace["supersteps"]:
             m = step["modeled_s"]
             assert m["total"] == pytest.approx(
-                m["disk"] + m["network"] + m["decompress"] + m["compute"] + m["sync"]
+                m["disk"]
+                + m["network"]
+                + m["decompress"]
+                + m["compute"]
+                + m["sync"]
+                + m["fault"]
+                + m["probe"]
             )
 
     def test_two_graphs_one_cluster(self):

@@ -125,7 +125,7 @@ class TestTraceBuffer:
     def test_drain_then_extend_reassembles(self):
         src = TraceBuffer(1, "worker")
         src.begin("compute")
-        src.instant("bloom-skip", "bloom")
+        src.instant("tile_skip", "schedule")
         src.end()
         shipped = src.drain()
         assert src.events() == [] and src.depth == 0
