@@ -45,7 +45,9 @@ from _common import REPO_ROOT
 BENCH_DIR = Path(__file__).resolve().parent
 
 # benchmark name → (baseline file, bench script argv, row-match keys,
-# deterministic compare?).
+# deterministic compare?[, wall-clock rate key]).  The rate key defaults
+# to "supersteps_per_s"; benches measuring a different throughput (the
+# service bench's jobs/sec) name theirs in a fifth element.
 BENCHMARKS = {
     "hotpath": (
         "BENCH_hotpath.json",
@@ -77,7 +79,20 @@ BENCHMARKS = {
         ("config",),
         True,
     ),
+    "service": (
+        "BENCH_service.json",
+        ["bench_service.py"],
+        ("config",),
+        False,
+        "jobs_per_s",
+    ),
 }
+
+
+def _entry(name: str) -> tuple:
+    """A BENCHMARKS entry normalised to five elements."""
+    entry = BENCHMARKS[name]
+    return entry if len(entry) == 5 else (*entry, "supersteps_per_s")
 
 # Host metadata that must agree before a wall-clock comparison means
 # anything (the 1-core tolerance of the satellite spec).
@@ -131,7 +146,7 @@ def compare(
     name: str, baseline: dict, fresh: dict, threshold: float
 ) -> tuple[list[str], list[str]]:
     """Compare one benchmark's reports → (failures, notes)."""
-    _file, _argv, keys, deterministic = BENCHMARKS[name]
+    _file, _argv, keys, deterministic, rate_key = _entry(name)
     failures: list[str] = []
     notes: list[str] = []
     base_rows = _index(baseline.get("results", []), keys)
@@ -170,13 +185,16 @@ def compare(
                 "wall-clock not comparable"
             )
             continue
-        base_rate = base.get("supersteps_per_s") or 0.0
-        fresh_rate = row.get("supersteps_per_s") or 0.0
+        base_rate = base.get(rate_key) or 0.0
+        fresh_rate = row.get(rate_key) or 0.0
         if not base_rate or not fresh_rate:
-            notes.append(f"SKIP {label}: missing supersteps_per_s")
+            notes.append(f"SKIP {label}: missing {rate_key}")
             continue
         ratio = fresh_rate / base_rate
-        verdict = f"{label}: {fresh_rate:.1f} vs {base_rate:.1f} steps/s ({ratio:.2f}x)"
+        verdict = (
+            f"{label}: {fresh_rate:.1f} vs {base_rate:.1f} "
+            f"{rate_key} ({ratio:.2f}x)"
+        )
         if ratio < 1.0 - threshold:
             failures.append(f"FAIL {verdict} — slower than the {threshold:.0%} gate")
         else:
@@ -222,7 +240,7 @@ def main() -> int:
     all_failures: list[str] = []
     with tempfile.TemporaryDirectory(prefix="check-regress-") as tmp:
         for name in selected:
-            baseline_file, script_args, _keys, _det = BENCHMARKS[name]
+            baseline_file, script_args, _keys, _det, _rate = _entry(name)
             baseline_path = Path(args.baseline_dir) / baseline_file
             if not baseline_path.exists():
                 print(f"SKIP {name}: no baseline at {baseline_path}")

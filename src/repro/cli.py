@@ -550,6 +550,144 @@ def cmd_shootout(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the persistent service daemon (``repro serve``)."""
+    import signal
+    import threading
+    from pathlib import Path
+
+    from repro.service import Engine, ServiceServer
+
+    tracer = None
+    if args.trace_out:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+    engine = Engine(
+        num_servers=args.servers,
+        state_dir=args.state_dir,
+        capacity=args.capacity,
+        tenant_quota=args.tenant_quota,
+        tracer=tracer,
+        cache_policy=args.cache_policy,
+    )
+    for path in args.graphs:
+        graph = _load(path)
+        name = Path(path).stem
+        engine.register_graph(graph, name=name, avg_tile_edges=args.tile_edges)
+        print(f"registered graph {name!r} ({graph.num_edges} edges)")
+        if args.symmetrize:
+            engine.register_graph(
+                graph,
+                name=f"{name}-sym",
+                avg_tile_edges=args.tile_edges,
+                symmetrize=True,
+            )
+            print(f"registered graph '{name}-sym' (undirected expansion)")
+    engine.start(args.job_workers)
+    server = ServiceServer(engine, host=args.host, port=args.port)
+    server.serve_in_thread()
+    host, port = server.address
+    print(f"repro service listening on {host}:{port}", flush=True)
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, _on_signal)
+    signal.signal(signal.SIGTERM, _on_signal)
+    while not stop.wait(0.2):
+        pass
+    print("shutting down: draining running jobs ...", flush=True)
+    server.shutdown()
+    engine.shutdown(drain=True)
+    if tracer is not None:
+        from repro.obs.export import validate_chrome_trace_file, write_chrome_trace
+
+        write_chrome_trace(tracer, args.trace_out, metadata={"service": True})
+        validate_chrome_trace_file(args.trace_out)
+        print(f"wrote {args.trace_out}")
+    from repro.obs.report import build_service_report, format_service_report
+
+    print(format_service_report(build_service_report(engine)))
+    return 0
+
+
+def _submit_spec(args) -> dict:
+    """Assemble the JobSpec dict a ``repro submit`` invocation means."""
+    params: dict = {}
+    if args.source is not None:
+        params["source"] = args.source
+    if args.damping is not None:
+        params["damping"] = args.damping
+    if args.seeds is not None:
+        params["seeds"] = [int(s) for s in args.seeds.split(",") if s]
+    spec = {
+        "graph": args.graph,
+        "algorithm": args.algorithm,
+        "params": params,
+        "priority": args.priority,
+        "tenant": args.tenant,
+    }
+    for knob in (
+        "executor",
+        "num_workers",
+        "prefetch_depth",
+        "io_threads",
+        "selective",
+        "vertex_store",
+        "max_supersteps",
+    ):
+        value = getattr(args, knob)
+        if value is not None:
+            spec[knob] = value
+    return spec
+
+
+def cmd_submit(args) -> int:
+    """Submit one job to a running daemon (``repro submit``)."""
+    from repro.service import SocketServiceClient
+
+    client = SocketServiceClient(host=args.host, port=args.port)
+    response = client.request({"op": "submit", "spec": _submit_spec(args)})
+    if not response.get("ok"):
+        print(
+            f"rejected: {response.get('reason') or response.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    job_id = response["job_id"]
+    print(f"submitted {job_id} ({args.algorithm} on {args.graph})")
+    if not args.wait:
+        return 0
+    job = client.wait(job_id, timeout=args.timeout)
+    status = job["status"]
+    result = job.get("result") or {}
+    print(
+        f"{job_id}: {status}"
+        + (
+            f" — {result.get('num_supersteps')} supersteps, "
+            f"converged={result.get('converged')}, "
+            f"modeled {result.get('modeled_job_s', 0.0):.4f}s, "
+            f"wait {job['wait_s']:.3f}s, run {job['run_s']:.3f}s"
+            if result
+            else (f" — {job.get('reason')}" if job.get("reason") else "")
+        )
+    )
+    return 0 if status == "done" else 1
+
+
+def cmd_jobs(args) -> int:
+    """List a running daemon's jobs (``repro jobs``)."""
+    from repro.obs.report import format_service_report
+    from repro.service import SocketServiceClient
+
+    client = SocketServiceClient(host=args.host, port=args.port)
+    print(format_service_report(client.report()))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="GraphH reproduction CLI"
@@ -717,6 +855,71 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--output", default=None)
     c.add_argument("--top", type=int, default=5)
     c.set_defaults(func=cmd_chaos)
+
+    v = sub.add_parser(
+        "serve",
+        help="persistent service daemon: load graphs once, serve jobs "
+        "over a socket until SIGINT/SIGTERM (drains + persists queue)",
+    )
+    v.add_argument("graphs", nargs="+", help="edge-list files to register")
+    v.add_argument("--servers", type=int, default=4, help="cluster width")
+    v.add_argument("--tile-edges", type=int, default=None)
+    v.add_argument("--host", default="127.0.0.1")
+    v.add_argument("--port", type=int, default=7077,
+                   help="TCP port (0 = pick a free one, printed on start)")
+    v.add_argument("--state-dir", default=None,
+                   help="persist queued jobs + results for restart")
+    v.add_argument("--capacity", type=int, default=64,
+                   help="admission control: max queued jobs")
+    v.add_argument("--tenant-quota", type=int, default=None, metavar="Q",
+                   help="max queued jobs per tenant")
+    v.add_argument("--job-workers", type=int, default=1, metavar="W",
+                   help="background worker threads executing jobs")
+    v.add_argument("--cache-policy", choices=("cold", "warm"), default="cold",
+                   help="per-job edge cache: 'cold' pins warm-vs-cold "
+                   "identity; 'warm' keeps it populated across jobs")
+    v.add_argument("--symmetrize", action="store_true",
+                   help="also register each graph's undirected expansion "
+                   "(<name>-sym) so WCC jobs can run")
+    v.add_argument("--trace-out", default=None, metavar="JSON",
+                   help="write the job-span Chrome trace on shutdown")
+    v.set_defaults(func=cmd_serve)
+
+    u = sub.add_parser("submit", help="submit a job to a running daemon")
+    u.add_argument("--host", default="127.0.0.1")
+    u.add_argument("--port", type=int, default=7077)
+    u.add_argument("--graph", required=True, help="registered graph name")
+    u.add_argument(
+        "--algorithm",
+        choices=("pagerank", "sssp", "bfs", "wcc", "katz", "ppr", "degree"),
+        default="pagerank",
+    )
+    u.add_argument("--source", type=int, default=None,
+                   help="source vertex (sssp/bfs)")
+    u.add_argument("--damping", type=float, default=None)
+    u.add_argument("--seeds", default=None,
+                   help="comma-separated seed vertices (ppr)")
+    u.add_argument("--priority", choices=("high", "normal", "low"),
+                   default="normal")
+    u.add_argument("--tenant", default="default")
+    u.add_argument("--executor", choices=("serial", "parallel", "process"),
+                   default=None)
+    u.add_argument("--num-workers", type=int, default=None, metavar="K")
+    u.add_argument("--prefetch-depth", type=int, default=None, metavar="D")
+    u.add_argument("--io-threads", type=int, default=None, metavar="T")
+    u.add_argument("--selective", action=argparse.BooleanOptionalAction,
+                   default=None)
+    u.add_argument("--vertex-store", choices=("mem", "mmap"), default=None)
+    u.add_argument("--max-supersteps", type=int, default=None)
+    u.add_argument("--wait", action="store_true",
+                   help="block until the job finishes; exit 1 unless done")
+    u.add_argument("--timeout", type=float, default=300.0)
+    u.set_defaults(func=cmd_submit)
+
+    j = sub.add_parser("jobs", help="job table from a running daemon")
+    j.add_argument("--host", default="127.0.0.1")
+    j.add_argument("--port", type=int, default=7077)
+    j.set_defaults(func=cmd_jobs)
     return parser
 
 

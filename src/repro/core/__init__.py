@@ -14,7 +14,7 @@
 
 from repro.core.spe import SPE, TileManifest
 from repro.core.mpe import MPE, MPEConfig, RunResult, SuperstepReport
-from repro.core.facade import GraphH
+from repro.core.facade import ClusterBuild, GraphH
 
 __all__ = [
     "SPE",
@@ -23,5 +23,6 @@ __all__ = [
     "MPEConfig",
     "RunResult",
     "SuperstepReport",
+    "ClusterBuild",
     "GraphH",
 ]

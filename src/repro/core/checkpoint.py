@@ -38,6 +38,40 @@ class Checkpoint:
     prev_updated: np.ndarray
 
 
+def pack_snapshot(
+    superstep: int, values: np.ndarray, prev_updated: np.ndarray
+) -> bytes:
+    """Serialise a value snapshot into the checkpoint wire format.
+
+    Shared by DFS checkpoints and the service layer's persisted job
+    results (``repro.service``), so both read back with
+    :func:`unpack_snapshot`.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    updated = np.ascontiguousarray(prev_updated, dtype=np.int64)
+    return (
+        _HEADER.pack(superstep, values.size, updated.size)
+        + values.tobytes()
+        + updated.tobytes()
+    )
+
+
+def unpack_snapshot(blob: bytes) -> Checkpoint:
+    """Parse one checkpoint-format blob (inverse of :func:`pack_snapshot`)."""
+    if len(blob) < _HEADER.size:
+        raise ValueError("truncated checkpoint")
+    superstep, num_values, num_updated = _HEADER.unpack_from(blob)
+    offset = _HEADER.size
+    values = np.frombuffer(blob, dtype=np.float64, count=num_values, offset=offset)
+    offset += num_values * 8
+    updated = np.frombuffer(blob, dtype=np.int64, count=num_updated, offset=offset)
+    if offset + num_updated * 8 != len(blob):
+        raise ValueError("checkpoint size mismatch")
+    return Checkpoint(
+        superstep=superstep, values=values.copy(), prev_updated=updated.copy()
+    )
+
+
 def checkpoint_path(dataset: str, program: str, superstep: int) -> str:
     """DFS path for a snapshot."""
     return f"{dataset}/ckpt-{program}-{superstep:08d}"
@@ -52,13 +86,7 @@ def write_checkpoint(
     prev_updated: np.ndarray,
 ) -> str:
     """Persist a snapshot; returns its DFS path."""
-    values = np.ascontiguousarray(values, dtype=np.float64)
-    updated = np.ascontiguousarray(prev_updated, dtype=np.int64)
-    blob = (
-        _HEADER.pack(superstep, values.size, updated.size)
-        + values.tobytes()
-        + updated.tobytes()
-    )
+    blob = pack_snapshot(superstep, values, prev_updated)
     path = checkpoint_path(dataset, program, superstep)
     dfs.write(path, blob)
     return path
@@ -66,19 +94,7 @@ def write_checkpoint(
 
 def load_checkpoint(dfs: DistributedFileSystem, path: str) -> Checkpoint:
     """Read one snapshot back."""
-    blob = dfs.read(path)
-    if len(blob) < _HEADER.size:
-        raise ValueError("truncated checkpoint")
-    superstep, num_values, num_updated = _HEADER.unpack_from(blob)
-    offset = _HEADER.size
-    values = np.frombuffer(blob, dtype=np.float64, count=num_values, offset=offset)
-    offset += num_values * 8
-    updated = np.frombuffer(blob, dtype=np.int64, count=num_updated, offset=offset)
-    if offset + num_updated * 8 != len(blob):
-        raise ValueError("checkpoint size mismatch")
-    return Checkpoint(
-        superstep=superstep, values=values.copy(), prev_updated=updated.copy()
-    )
+    return unpack_snapshot(dfs.read(path))
 
 
 def latest_checkpoint(

@@ -34,6 +34,111 @@ from repro.core.spe import SPE, TileManifest
 from repro.graph.graph import Graph
 
 
+class ClusterBuild:
+    """A built cluster plus its per-dataset preprocessing state.
+
+    Extracted from :class:`GraphH` so the expensive cold-start work —
+    cluster construction, SPE pre-processing, and the MPE's stage-two
+    tile fetch — can outlive a single facade call.  A one-shot
+    ``GraphH`` owns a private build (and tears it down on ``close``);
+    the service layer (:mod:`repro.service`) keeps one build alive per
+    registered graph and hands it to every job, so repeated runs reuse
+    the warm cluster instead of rebuilding it.
+
+    ``mpe(name)`` returns one cached engine per dataset: its setup
+    (tile placement, bloom filters, source summaries, caches) runs once
+    and stays warm.  ``mpe(name, fresh=True)`` preserves the historical
+    facade behaviour of a brand-new engine per ``load_graph`` call.
+    """
+
+    def __init__(
+        self,
+        num_servers: int = 1,
+        spec: ClusterSpec | None = None,
+        root: str | None = None,
+    ) -> None:
+        self.spec = spec or ClusterSpec(num_servers=num_servers)
+        self.cluster = Cluster(self.spec, root=root)
+        self.spe = SPE(self.cluster.dfs)
+        self._manifests: dict[str, TileManifest] = {}
+        self._mpes: dict[str, MPE] = {}
+
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        graph: Graph,
+        avg_tile_edges: int | None = None,
+        name: str | None = None,
+        reuse: bool = False,
+    ) -> TileManifest:
+        """Pre-process ``graph`` into tiles (SPE stage); see
+        :meth:`GraphH.load_graph` for the knob semantics."""
+        name = name or graph.name
+        if reuse and self.cluster.dfs.exists(f"{name}/meta"):
+            manifest = self.spe.load_manifest(name)
+        else:
+            if avg_tile_edges is None:
+                avg_tile_edges = max(
+                    1, graph.num_edges // (48 * self.spec.num_servers) or 1
+                )
+            manifest = self.spe.preprocess(graph, avg_tile_edges, name)
+            # Tiles were rewritten: any cached engine for this dataset
+            # holds stale blobs/blooms and must be rebuilt.
+            self._mpes.pop(name, None)
+        self._manifests[name] = manifest
+        return manifest
+
+    def manifest(self, name: str) -> TileManifest:
+        try:
+            return self._manifests[name]
+        except KeyError:
+            raise KeyError(f"dataset {name!r} not loaded in this build") from None
+
+    def mpe(
+        self,
+        name: str,
+        config: MPEConfig | None = None,
+        tracer=None,
+        fresh: bool = False,
+    ) -> MPE:
+        """The engine for a loaded dataset.
+
+        Cached per dataset by default (warm setup state survives);
+        ``fresh=True`` always builds a new engine — the one-shot facade
+        path, behaviourally identical to the pre-extraction ``GraphH``.
+        """
+        manifest = self.manifest(name)
+        if fresh:
+            engine = MPE(self.cluster, manifest, config, tracer=tracer)
+            self._mpes[name] = engine
+            return engine
+        engine = self._mpes.get(name)
+        if engine is None:
+            engine = MPE(self.cluster, manifest, config, tracer=tracer)
+            self._mpes[name] = engine
+        else:
+            if config is not None:
+                engine.config = config
+            if tracer is not None:
+                engine.tracer = tracer
+        return engine
+
+    def datasets(self) -> list[str]:
+        return sorted(self._manifests)
+
+    def close(self) -> None:
+        """Tear down the cluster's on-disk state."""
+        self._mpes.clear()
+        self._manifests.clear()
+        self.cluster.close()
+
+    def __enter__(self) -> "ClusterBuild":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class GraphH:
     """High-level GraphH system handle.
 
@@ -79,6 +184,12 @@ class GraphH:
         Path of a Chrome-trace-event JSON file (Perfetto /
         ``chrome://tracing`` loadable) written after every :meth:`run`;
         implies ``trace=True``.
+    build:
+        An existing :class:`ClusterBuild` to run against instead of
+        constructing (and owning) a private one.  The facade then skips
+        cluster construction, reuses the build's per-dataset warm
+        engines, and leaves teardown to the build's owner —
+        ``num_servers``/``spec``/``root`` are taken from the build.
     """
 
     def __init__(
@@ -95,9 +206,14 @@ class GraphH:
         vertex_store: str | None = None,
         trace=False,
         trace_out: str | None = None,
+        build: ClusterBuild | None = None,
     ) -> None:
-        self.spec = spec or ClusterSpec(num_servers=num_servers)
-        self.cluster = Cluster(self.spec, root=root)
+        self._owns_build = build is None
+        self._build = build or ClusterBuild(
+            num_servers=num_servers, spec=spec, root=root
+        )
+        self.spec = self._build.spec
+        self.cluster = self._build.cluster
         self.config = config or MPEConfig()
         overrides = {}
         if executor is not None:
@@ -120,7 +236,7 @@ class GraphH:
             from repro.obs.trace import Tracer
 
             self.tracer = trace if isinstance(trace, Tracer) else Tracer()
-        self.spe = SPE(self.cluster.dfs)
+        self.spe = self._build.spe
         self._manifest: TileManifest | None = None
         self._mpe: MPE | None = None
         self._graph: Graph | None = None
@@ -146,17 +262,14 @@ class GraphH:
         that run's checkpoints resumable.
         """
         name = name or graph.name
-        if reuse and self.cluster.dfs.exists(f"{name}/meta"):
-            self._manifest = self.spe.load_manifest(name)
-        else:
-            if avg_tile_edges is None:
-                avg_tile_edges = max(
-                    1, graph.num_edges // (48 * self.spec.num_servers) or 1
-                )
-            self._manifest = self.spe.preprocess(graph, avg_tile_edges, name)
+        self._manifest = self._build.load(
+            graph, avg_tile_edges=avg_tile_edges, name=name, reuse=reuse
+        )
         self._graph = graph
-        self._mpe = MPE(
-            self.cluster, self._manifest, self.config, tracer=self.tracer
+        # An owned (one-shot) build keeps the historical fresh-engine-
+        # per-load behaviour; a shared build hands back its warm engine.
+        self._mpe = self._build.mpe(
+            name, config=self.config, tracer=self.tracer, fresh=self._owns_build
         )
         return self._manifest
 
@@ -256,8 +369,13 @@ class GraphH:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Tear down the simulated cluster's on-disk state."""
-        self.cluster.close()
+        """Tear down the simulated cluster's on-disk state.
+
+        No-op when running against a shared :class:`ClusterBuild` —
+        its owner decides when the warm cluster dies.
+        """
+        if self._owns_build:
+            self._build.close()
 
     def __enter__(self) -> "GraphH":
         return self

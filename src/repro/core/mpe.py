@@ -1122,28 +1122,35 @@ class MPE:
         # Tile blobs: one shared read-only arena; every server's disk is
         # fronted by an arena view with byte-identical metering, so
         # worker tile loads touch shared pages instead of per-process
-        # file reads.
-        def _blob_items():
+        # file reads.  When a long-lived owner (the service engine) has
+        # already fronted every disk with an ArenaDisk, its warm arena
+        # is inherited as-is: no per-run blob copy, and the segments —
+        # owned by the engine, not this run — survive the teardown.
+        if not all(isinstance(s.disk, ArenaDisk) for s in servers):
+
+            def _blob_items():
+                for server in servers:
+                    for _tid, name, _nbytes in self._assignments[
+                        server.server_id
+                    ]:
+                        if server.disk.exists(name):
+                            yield name, server.disk.peek(name)
+
+            arena = SharedBlobArena(_blob_items())
+            swapped = []
             for server in servers:
-                for _tid, name, _nbytes in self._assignments[server.server_id]:
-                    if server.disk.exists(name):
-                        yield name, server.disk.peek(name)
+                swapped.append((server, server.disk))
+                server.disk = ArenaDisk(server.disk, arena)
 
-        arena = SharedBlobArena(_blob_items())
-        swapped = []
-        for server in servers:
-            swapped.append((server, server.disk))
-            server.disk = ArenaDisk(server.disk, arena)
+            def _restore_disks() -> None:
+                for server, original in swapped:
+                    disk = server.disk
+                    if isinstance(disk, ArenaDisk):
+                        disk.restore()
+                    server.disk = original
+                arena.release()
 
-        def _restore_disks() -> None:
-            for server, original in swapped:
-                disk = server.disk
-                if isinstance(disk, ArenaDisk):
-                    disk.restore()
-                server.disk = original
-            arena.release()
-
-        cleanup.append(_restore_disks)
+            cleanup.append(_restore_disks)
 
         # Cache contents live in the workers while the pool runs; the
         # parent's mirrors are resynchronised at teardown (runs first —

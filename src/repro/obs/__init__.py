@@ -33,7 +33,9 @@ from repro.obs.metrics import (
 )
 from repro.obs.report import (
     build_run_report,
+    build_service_report,
     format_run_report,
+    format_service_report,
     load_run_report,
     save_run_report,
 )
@@ -58,6 +60,8 @@ __all__ = [
     "write_superstep_jsonl",
     "build_run_report",
     "format_run_report",
+    "build_service_report",
+    "format_service_report",
     "save_run_report",
     "load_run_report",
 ]

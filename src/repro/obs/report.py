@@ -20,13 +20,17 @@ import json
 
 __all__ = [
     "REPORT_SCHEMA",
+    "SERVICE_REPORT_SCHEMA",
     "build_run_report",
     "save_run_report",
     "load_run_report",
     "format_run_report",
+    "build_service_report",
+    "format_service_report",
 ]
 
 REPORT_SCHEMA = "repro-run-report/v1"
+SERVICE_REPORT_SCHEMA = "repro-service-report/v1"
 
 # Table 3 column → SuperstepCost component(s).  "probe" is the
 # selective-scheduling schedule-check time for skipped tiles (absent
@@ -92,6 +96,78 @@ def load_run_report(path: str) -> dict:
             f"{path}: not a run report (schema={report.get('schema')!r})"
         )
     return report
+
+
+def build_service_report(engine) -> dict:
+    """One row per job the service engine has seen, plus queue totals.
+
+    ``engine`` is a :class:`repro.service.engine.Engine`; the report is
+    what ``repro jobs`` renders and what the daemon prints on graceful
+    shutdown.
+    """
+    rows = []
+    for record in engine.jobs():
+        row = {
+            "job_id": record.job_id,
+            "graph": record.spec.graph,
+            "algorithm": record.spec.algorithm,
+            "tenant": record.spec.tenant,
+            "priority": record.spec.priority,
+            "status": record.status,
+            "reason": record.reason,
+            "wait_s": round(record.wait_s, 6),
+            "run_s": round(record.run_s, 6),
+        }
+        if record.result is not None:
+            row.update(
+                converged=record.result.converged,
+                num_supersteps=record.result.num_supersteps,
+                executor=record.result.executor,
+                modeled_job_s=record.result.modeled_job_s,
+            )
+        rows.append(row)
+    counts: dict[str, int] = {}
+    for row in rows:
+        counts[row["status"]] = counts.get(row["status"], 0) + 1
+    return {
+        "schema": SERVICE_REPORT_SCHEMA,
+        "graphs": engine.graphs(),
+        "queue_depth": engine.queue.depth(),
+        "status_counts": counts,
+        "jobs": rows,
+    }
+
+
+def format_service_report(report: dict) -> str:
+    """Render the job table for ``repro jobs`` / daemon shutdown."""
+    header = (
+        f"{'job':<14} {'graph':<16} {'algo':<9} {'tenant':<10} {'prio':<7} "
+        f"{'status':<9} {'steps':>5} {'wait_s':>8} {'run_s':>8}"
+    )
+    lines = [
+        f"service report — graphs: {', '.join(report.get('graphs', [])) or '-'} "
+        f"(queued: {report.get('queue_depth', 0)})",
+        header,
+        "-" * len(header),
+    ]
+    for row in report.get("jobs", []):
+        steps = row.get("num_supersteps", "")
+        lines.append(
+            f"{row['job_id']:<14} {row['graph']:<16.16} {row['algorithm']:<9} "
+            f"{row['tenant']:<10.10} {row['priority']:<7} {row['status']:<9} "
+            f"{steps!s:>5} {row['wait_s']:>8.3f} {row['run_s']:>8.3f}"
+            + (f"  [{row['reason']}]" if row.get("reason") else "")
+        )
+    counts = report.get("status_counts", {})
+    lines.append("-" * len(header))
+    lines.append(
+        "totals: "
+        + (
+            " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            or "no jobs"
+        )
+    )
+    return "\n".join(lines)
 
 
 def _phase_seconds(modeled: dict) -> dict[str, float]:

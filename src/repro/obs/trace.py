@@ -67,6 +67,10 @@ ENGINE_TID = 0
 # Prefetch-pipeline buffers live far above the server tids so the two
 # ranges can never collide however many servers a run has.
 PREFETCH_TID_BASE = 10_000
+# The service daemon's job-lifecycle buffer, above every per-server
+# range.  Submissions arrive from arbitrary client threads, so only
+# single-append event kinds (complete / instant) are recorded on it.
+SERVICE_TID = 20_000
 
 
 def _now() -> float:
@@ -228,6 +232,13 @@ class Tracer:
             PREFETCH_TID_BASE + int(server_id),
             f"server-{int(server_id)}-prefetch",
         )
+
+    def service(self) -> TraceBuffer:
+        """The service daemon's job-lifecycle buffer (``job`` complete
+        spans, ``job_submit``/``job_reject`` instants).  Multi-writer:
+        callers must stick to :meth:`TraceBuffer.complete` /
+        :meth:`TraceBuffer.instant`, which append atomically."""
+        return self._buffer(SERVICE_TID, "service")
 
     def _buffer(self, tid: int, label: str) -> TraceBuffer:
         buf = self._buffers.get(tid)

@@ -400,6 +400,12 @@ class DecodedTileCache:
         """Drop every entry (stats retained)."""
         self._entries.clear()
 
+    def reset_stats(self) -> None:
+        """Zero the stats (entries retained) — the service layer's
+        per-job boundary: warm decoded tiles survive, but each job's
+        hit/miss story starts fresh."""
+        self.stats = DecodedCacheStats()
+
     def __repr__(self) -> str:
         cap = "∞" if self.max_entries is None else str(self.max_entries)
         return (

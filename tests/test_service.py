@@ -1,0 +1,725 @@
+"""Tests for ``repro.service`` — the persistent multi-job engine.
+
+The headline invariant: a job on a *warm* engine (cluster built once,
+setup run once, decoded-tile cache populated, shared arena installed)
+produces bitwise-identical values, Counters, CacheStats, and modeled
+costs to a *cold* one-shot facade run with the same knobs, at every
+executor.  Only ``wall_s`` (host wall-clock) and the decoded-tile-cache
+hit ratio (the deliberate, metering-neutral warmth) may differ.
+"""
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import ClusterBuild, GraphH, MPEConfig
+from repro.graph import chung_lu_graph
+from repro.runtime import outstanding_segments
+from repro.runtime.shm import process_runtime_available
+from repro.service import (
+    AdmissionError,
+    Engine,
+    JobQueue,
+    JobSpec,
+    JobStatus,
+    ServiceClient,
+    ServiceServer,
+    SocketServiceClient,
+    reset_simulation,
+)
+
+N_SERVERS = 3
+
+EXECUTORS = ["serial", "parallel"] + (
+    ["process"] if process_runtime_available() else []
+)
+
+PAGERANK_PARAMS = {"tolerance": 1e-6}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu_graph(220, 1800, seed=11, name="svc-g")
+
+
+@pytest.fixture(scope="module")
+def engine(graph):
+    """One warm engine shared by the identity tests (module-scoped so
+    its arena segments predate each test's leak-tripwire snapshot)."""
+    eng = Engine(num_servers=N_SERVERS)
+    eng.register_graph(graph)
+    eng.register_graph(graph, name="svc-g-sym", symmetrize=True)
+    yield eng
+    eng.shutdown()
+    assert not outstanding_segments()
+
+
+def _strip_wall(rows):
+    return [{k: v for k, v in r.items() if k != "wall_s"} for r in rows]
+
+
+def _cold_story(graph, spec: JobSpec):
+    """The reference metered story: a cold one-shot facade run."""
+    gh = GraphH(num_servers=N_SERVERS, config=MPEConfig())
+    try:
+        gh.config = dataclasses.replace(gh.config, **spec.config_overrides())
+        gh.load_graph(graph, name=graph.name)
+        mpe = gh.mpe
+        mpe.setup()
+        # Normalise setup's own disk traffic out of the story, exactly
+        # like the engine does before every job.
+        reset_simulation(gh.cluster, mpe.channel)
+        result = mpe.run(spec.build_program())
+        return {
+            "values": result.values.tobytes(),
+            "converged": result.converged,
+            "supersteps": result.num_supersteps,
+            "trace": _strip_wall(result.trace()),
+            "counters": {
+                s.server_id: s.counters.snapshot() for s in gh.cluster.servers
+            },
+            "cache": {
+                s.server_id: dataclasses.asdict(s.cache.stats)
+                for s in gh.cluster.servers
+                if s.cache is not None
+            },
+            "net": result.total_net_bytes(),
+            "disk_read": result.total_disk_read(),
+        }
+    finally:
+        gh.close()
+
+
+def _warm_story(job_result):
+    return {
+        "values": job_result.values.tobytes(),
+        "converged": job_result.converged,
+        "supersteps": job_result.num_supersteps,
+        "trace": _strip_wall(job_result.supersteps),
+        "counters": {int(k): v for k, v in job_result.counters.items()},
+        "cache": {int(k): v for k, v in job_result.cache_stats.items()},
+        "net": job_result.net_bytes,
+        "disk_read": job_result.disk_read_bytes,
+    }
+
+
+def _run_one(engine, spec):
+    record = engine.submit(spec)
+    assert record.status == JobStatus.QUEUED, record.reason
+    done = engine.run_next()
+    assert done is record
+    assert record.status == JobStatus.DONE, record.reason
+    return record
+
+
+# ----------------------------------------------------------------------
+# The tentpole invariant
+# ----------------------------------------------------------------------
+class TestWarmColdIdentity:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_bitwise_identity_per_executor(self, graph, engine, executor):
+        """Two consecutive warm jobs == the cold reference, bit for bit
+        (values, Counters, CacheStats, modeled trace sans wall_s)."""
+        spec = JobSpec(
+            graph="svc-g",
+            algorithm="pagerank",
+            params=PAGERANK_PARAMS,
+            executor=executor,
+        )
+        cold = _cold_story(graph, spec)
+        for _ in range(2):  # second job exercises a fully warm cache
+            record = _run_one(engine, spec)
+            assert _warm_story(record.result) == cold
+
+    def test_sssp_identity(self, graph, engine):
+        spec = JobSpec(graph="svc-g", algorithm="sssp", params={"source": 3})
+        cold = _cold_story(graph, spec)
+        record = _run_one(engine, spec)
+        assert _warm_story(record.result) == cold
+
+    def test_decoded_cache_reused_across_jobs(self, engine):
+        """After the first job decodes every tile, later jobs re-parse
+        nothing — the observable (metering-neutral) warmth."""
+        spec = JobSpec(
+            graph="svc-g", algorithm="pagerank", params=PAGERANK_PARAMS
+        )
+        first = _run_one(engine, spec).result
+        second = _run_one(engine, spec).result
+        assert second.decoded_cache_misses == 0
+        assert second.decoded_cache_hits > 0
+        assert first.values.tobytes() == second.values.tobytes()
+
+    def test_run_knobs_are_restored_between_jobs(self, graph, engine):
+        """A job's executor/selective overrides must not leak into the
+        next job's config (the next job re-matches the cold story)."""
+        knobbed = JobSpec(
+            graph="svc-g",
+            algorithm="pagerank",
+            params=PAGERANK_PARAMS,
+            executor="parallel",
+            selective=True,
+            max_supersteps=5,
+        )
+        _run_one(engine, knobbed)
+        plain = JobSpec(
+            graph="svc-g", algorithm="pagerank", params=PAGERANK_PARAMS
+        )
+        record = _run_one(engine, plain)
+        assert _warm_story(record.result) == _cold_story(graph, plain)
+
+
+# ----------------------------------------------------------------------
+# Scheduler: admission, priorities, tenant fairness
+# ----------------------------------------------------------------------
+def _rec(i, priority="normal", tenant="default"):
+    from repro.service.jobs import JobRecord
+
+    return JobRecord(
+        job_id=f"job-{i:08d}",
+        spec=JobSpec(graph="g", priority=priority, tenant=tenant),
+    )
+
+
+class TestJobQueue:
+    def test_priority_classes_pop_in_order(self):
+        q = JobQueue(capacity=8)
+        q.push(_rec(1, "low"))
+        q.push(_rec(2, "normal"))
+        q.push(_rec(3, "high"))
+        q.push(_rec(4, "high"))
+        order = [q.pop(timeout=0).job_id for _ in range(4)]
+        assert order == [
+            "job-00000003",
+            "job-00000004",
+            "job-00000002",
+            "job-00000001",
+        ]
+
+    def test_tenant_round_robin_within_priority(self):
+        q = JobQueue(capacity=8)
+        for i, tenant in [(1, "a"), (2, "a"), (3, "a"), (4, "b"), (5, "b")]:
+            q.push(_rec(i, tenant=tenant))
+        order = [q.pop(timeout=0).job_id for _ in range(5)]
+        # a, b alternate (first-submission tenant order), then a drains.
+        assert order == [
+            "job-00000001",
+            "job-00000004",
+            "job-00000002",
+            "job-00000005",
+            "job-00000003",
+        ]
+
+    def test_capacity_rejects_with_reason(self):
+        q = JobQueue(capacity=2)
+        q.push(_rec(1))
+        q.push(_rec(2))
+        with pytest.raises(AdmissionError, match="queue full"):
+            q.push(_rec(3))
+
+    def test_tenant_quota_rejects_with_reason(self):
+        q = JobQueue(capacity=8, tenant_quota=1)
+        q.push(_rec(1, tenant="a"))
+        with pytest.raises(AdmissionError, match="quota exceeded"):
+            q.push(_rec(2, tenant="a"))
+        q.push(_rec(3, tenant="b"))  # another tenant still admitted
+
+    def test_snapshot_is_nondestructive_pop_order(self):
+        q = JobQueue(capacity=8)
+        for i, prio in [(1, "low"), (2, "high"), (3, "normal")]:
+            q.push(_rec(i, prio))
+        snap = [r.job_id for r in q.snapshot()]
+        assert snap == ["job-00000002", "job-00000003", "job-00000001"]
+        assert [q.pop(timeout=0).job_id for _ in range(3)] == snap
+
+    def test_closed_queue_rejects_and_unblocks(self):
+        q = JobQueue(capacity=2)
+        q.close()
+        with pytest.raises(AdmissionError, match="shutting down"):
+            q.push(_rec(1))
+        assert q.pop(timeout=0) is None
+
+
+class TestAdmission:
+    def test_engine_records_rejection_instead_of_raising(self, engine):
+        record = engine.submit(JobSpec(graph="nope"))
+        assert record.status == JobStatus.REJECTED
+        assert "not registered" in record.reason
+
+    def test_unknown_algorithm_rejected(self, engine):
+        record = engine.submit(JobSpec(graph="svc-g", algorithm="kmeans"))
+        assert record.status == JobStatus.REJECTED
+        assert "unknown algorithm" in record.reason
+
+    def test_wcc_requires_symmetrized_registration(self, engine):
+        record = engine.submit(JobSpec(graph="svc-g", algorithm="wcc"))
+        assert record.status == JobStatus.REJECTED
+        assert "undirected" in record.reason
+        ok = engine.submit(JobSpec(graph="svc-g-sym", algorithm="wcc"))
+        assert ok.status == JobStatus.QUEUED
+        engine.run_next()
+        assert ok.status == JobStatus.DONE and ok.result.converged
+
+    def test_queue_full_surfaces_as_rejected_record(self, graph):
+        eng = Engine(num_servers=2, capacity=2, share_tiles=False)
+        try:
+            eng.register_graph(graph, name="tiny")
+            specs = [JobSpec(graph="tiny", max_supersteps=2) for _ in range(3)]
+            records = [eng.submit(s) for s in specs]
+            assert [r.status for r in records] == [
+                JobStatus.QUEUED,
+                JobStatus.QUEUED,
+                JobStatus.REJECTED,
+            ]
+            assert "queue full" in records[2].reason
+        finally:
+            eng.shutdown()
+
+    def test_tenant_quota_enforced_per_tenant(self, graph):
+        eng = Engine(
+            num_servers=2, capacity=8, tenant_quota=1, share_tiles=False
+        )
+        try:
+            eng.register_graph(graph, name="tiny")
+            a1 = eng.submit(JobSpec(graph="tiny", tenant="alice"))
+            a2 = eng.submit(JobSpec(graph="tiny", tenant="alice"))
+            b1 = eng.submit(JobSpec(graph="tiny", tenant="bob"))
+            assert a1.status == JobStatus.QUEUED
+            assert a2.status == JobStatus.REJECTED
+            assert "quota" in a2.reason
+            assert b1.status == JobStatus.QUEUED
+        finally:
+            eng.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Fault-injected jobs: supervisor-backed retry
+# ----------------------------------------------------------------------
+class TestSupervisedJobs:
+    def test_crash_job_recovers_to_clean_values(self, engine):
+        clean = _run_one(
+            engine,
+            JobSpec(
+                graph="svc-g", algorithm="pagerank", params=PAGERANK_PARAMS
+            ),
+        ).result
+        faulted = _run_one(
+            engine,
+            JobSpec(
+                graph="svc-g",
+                algorithm="pagerank",
+                params=PAGERANK_PARAMS,
+                checkpoint_every=2,
+                fault_events=({"kind": "crash", "superstep": 2, "server": 1},),
+            ),
+        ).result
+        assert faulted.recovery is not None
+        assert faulted.recovery["restarts"] >= 1
+        assert faulted.recovery["converged"]
+        assert faulted.values.tobytes() == clean.values.tobytes()
+        assert clean.recovery is None
+
+    def test_failed_job_does_not_poison_the_engine(self, graph, engine):
+        """A job that exhausts its retry budget fails cleanly; the next
+        plain job still matches the cold story."""
+        bad = _run_one_allow_fail(
+            engine,
+            JobSpec(
+                graph="svc-g",
+                max_supersteps=6,
+                checkpoint_every=2,
+                max_restarts=0,
+                fault_events=({"kind": "crash", "superstep": 2},),
+            ),
+        )
+        assert bad.status == JobStatus.FAILED
+        assert bad.reason
+        plain = JobSpec(
+            graph="svc-g", algorithm="pagerank", params=PAGERANK_PARAMS
+        )
+        record = _run_one(engine, plain)
+        assert _warm_story(record.result) == _cold_story(graph, plain)
+
+
+def _run_one_allow_fail(engine, spec):
+    record = engine.submit(spec)
+    assert record.status == JobStatus.QUEUED, record.reason
+    engine.run_next()
+    return record
+
+
+# ----------------------------------------------------------------------
+# Persistence: results, queue, restart recovery
+# ----------------------------------------------------------------------
+class TestPersistence:
+    def test_result_round_trips_through_state_dir(self, graph, tmp_path):
+        state = str(tmp_path / "state")
+        eng = Engine(num_servers=2, state_dir=state, share_tiles=False)
+        try:
+            eng.register_graph(graph, name="tiny")
+            record = _run_one(eng, JobSpec(graph="tiny", max_supersteps=4))
+        finally:
+            eng.shutdown()
+        reloaded = Engine(num_servers=2, state_dir=state, share_tiles=False)
+        try:
+            result = reloaded.load_result(record.job_id)
+            assert result is not None
+            assert result.values.tobytes() == record.result.values.tobytes()
+            assert result.counters == record.result.counters
+            assert (
+                reloaded.get(record.job_id).status == JobStatus.DONE
+            )
+        finally:
+            reloaded.shutdown()
+
+    def test_restart_restores_queued_jobs_in_order(self, graph, tmp_path):
+        state = str(tmp_path / "state")
+        eng = Engine(num_servers=2, state_dir=state, share_tiles=False)
+        eng.register_graph(graph, name="tiny")
+        ids = [
+            eng.submit(
+                JobSpec(graph="tiny", priority=prio, max_supersteps=3)
+            ).job_id
+            for prio in ("low", "normal", "high")
+        ]
+        eng.shutdown()  # drains workers, persists the queue
+        queue_file = os.path.join(state, "queue.json")
+        payload = json.load(open(queue_file))
+        assert payload["next_job_seq"] == 3
+        assert [r["job_id"] for r in payload["queued"]] == [
+            ids[2], ids[1], ids[0]  # persisted in pop order: high first
+        ]
+
+        restarted = Engine(num_servers=2, state_dir=state, share_tiles=False)
+        try:
+            assert not os.path.exists(queue_file)  # consumed on restore
+            assert restarted.queue.depth() == 3
+            # New submissions continue the persisted id sequence.
+            restarted.register_graph(graph, name="tiny")
+            fresh = restarted.submit(JobSpec(graph="tiny", max_supersteps=3))
+            assert fresh.job_id == "job-00000004"
+            ran = []
+            while (record := restarted.run_next()) is not None:
+                assert record.status == JobStatus.DONE, record.reason
+                ran.append(record.job_id)
+            # Priority still rules: the fresh normal job runs before
+            # the restored low one.
+            assert ran == [ids[2], ids[1], fresh.job_id, ids[0]]
+        finally:
+            restarted.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: workers, shutdown, segment hygiene
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_background_workers_drain_the_queue(self, engine):
+        records = [
+            engine.submit(
+                JobSpec(
+                    graph="svc-g",
+                    algorithm="pagerank",
+                    params=PAGERANK_PARAMS,
+                    max_supersteps=4,
+                )
+            )
+            for _ in range(3)
+        ]
+        engine.start(job_workers=2)
+        try:
+            for record in records:
+                engine.wait(record.job_id, timeout=60.0)
+                assert record.status == JobStatus.DONE, record.reason
+        finally:
+            engine._stop.set()
+            for t in engine._workers:
+                t.join(timeout=10.0)
+            engine._workers.clear()
+            engine._stop.clear()
+
+    def test_shutdown_releases_every_segment(self, graph):
+        if not process_runtime_available():
+            pytest.skip("no POSIX shared memory on this platform")
+        before = set(outstanding_segments())
+        eng = Engine(num_servers=2)
+        eng.register_graph(graph, name="tiny")
+        assert set(outstanding_segments()) - before  # arena is live
+        _run_one(eng, JobSpec(graph="tiny", max_supersteps=3))
+        eng.shutdown()
+        assert set(outstanding_segments()) == before
+        eng.shutdown()  # idempotent
+
+    def test_submit_after_shutdown_is_rejected(self, graph):
+        eng = Engine(num_servers=2, share_tiles=False)
+        eng.register_graph(graph, name="tiny")
+        eng.shutdown()
+        record = eng.submit(JobSpec(graph="tiny"))
+        assert record.status == JobStatus.REJECTED
+        assert "shutting down" in record.reason
+
+    def test_evict_graph_releases_and_unregisters(self, graph):
+        eng = Engine(num_servers=2)
+        try:
+            eng.register_graph(graph, name="tiny")
+            assert eng.graphs() == ["tiny"]
+            eng.evict_graph("tiny")
+            assert eng.graphs() == []
+            record = eng.submit(JobSpec(graph="tiny"))
+            assert record.status == JobStatus.REJECTED
+        finally:
+            eng.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Clients: in-process and socket/JSON
+# ----------------------------------------------------------------------
+class TestClients:
+    def test_in_process_client(self, engine):
+        client = ServiceClient(engine)
+        submitted = client.submit(
+            graph="svc-g",
+            algorithm="pagerank",
+            params=PAGERANK_PARAMS,
+            max_supersteps=4,
+        )
+        engine.run_next()
+        job = client.status(submitted["job_id"])
+        assert job["status"] == JobStatus.DONE
+        assert job["result"]["num_supersteps"] == 4
+        report = client.report()
+        assert report["schema"].startswith("repro-service-report/")
+        assert any(
+            row["job_id"] == submitted["job_id"] for row in report["jobs"]
+        )
+
+    def test_socket_round_trip(self, engine):
+        server = ServiceServer(engine, port=0)
+        thread = server.serve_in_thread()
+        engine.start(job_workers=1)
+        try:
+            client = SocketServiceClient(*server.address, timeout=60.0)
+            assert "svc-g" in client.ping()["graphs"]
+            submitted = client.submit(
+                graph="svc-g",
+                algorithm="sssp",
+                params={"source": 0},
+            )
+            assert submitted["ok"], submitted
+            job = client.wait(submitted["job_id"], timeout=60.0)
+            assert job["status"] == JobStatus.DONE
+            result = client.result(submitted["job_id"])
+            assert len(result["values"]) == 220
+            rejected = client.submit(graph="nope")
+            assert not rejected["ok"]
+            assert "not registered" in rejected["reason"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10.0)
+            engine._stop.set()
+            for t in engine._workers:
+                t.join(timeout=10.0)
+            engine._workers.clear()
+            engine._stop.clear()
+
+
+# ----------------------------------------------------------------------
+# Observability: spans, metrics, service report
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_job_spans_and_gauges(self, graph):
+        from repro.obs.trace import SERVICE_TID, Tracer
+
+        tracer = Tracer()
+        eng = Engine(num_servers=2, tracer=tracer, share_tiles=False)
+        try:
+            eng.register_graph(graph, name="tiny")
+            _run_one(eng, JobSpec(graph="tiny", max_supersteps=3))
+            buf = tracer.service()
+            assert buf.tid == SERVICE_TID
+            names = [e[1] for e in buf.events()]
+            assert "graph_register" in names
+            assert "job_submit" in names
+            assert "job" in names  # the complete span
+            rejected = eng.submit(JobSpec(graph="absent"))
+            assert rejected.status == JobStatus.REJECTED
+            assert "job_reject" in [e[1] for e in tracer.service().events()]
+        finally:
+            eng.shutdown()
+
+    def test_service_report_rows(self, graph):
+        from repro.obs.report import build_service_report, format_service_report
+
+        eng = Engine(num_servers=2, share_tiles=False)
+        try:
+            eng.register_graph(graph, name="tiny")
+            done = _run_one(eng, JobSpec(graph="tiny", max_supersteps=3))
+            eng.submit(JobSpec(graph="absent"))
+            report = build_service_report(eng)
+            assert report["graphs"] == ["tiny"]
+            assert report["status_counts"] == {"done": 1, "rejected": 1}
+            row = next(
+                r for r in report["jobs"] if r["job_id"] == done.job_id
+            )
+            assert row["num_supersteps"] == 3
+            text = format_service_report(report)
+            assert done.job_id in text and "rejected" in text
+        finally:
+            eng.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Satellite: ClusterBuild extraction (facade reuse path)
+# ----------------------------------------------------------------------
+class TestClusterBuild:
+    def test_shared_build_reuses_cluster_across_facades(self, graph):
+        with ClusterBuild(num_servers=N_SERVERS) as build:
+            gh1 = GraphH(build=build)
+            gh1.load_graph(graph, name="cb-g")
+            v1 = gh1.pagerank(tolerance=1e-6)
+            gh1.close()  # must NOT tear down the shared build
+
+            assert "cb-g" in build.datasets()
+            gh2 = GraphH(build=build)
+            gh2.load_graph(graph, name="cb-g", reuse=True)
+            assert gh2.cluster is gh1.cluster
+            v2 = gh2.pagerank(tolerance=1e-6)
+            gh2.close()
+        assert v1.tobytes() == v2.tobytes()
+
+    def test_shared_build_matches_one_shot(self, graph):
+        gh = GraphH(num_servers=N_SERVERS)
+        gh.load_graph(graph, name="one-shot")
+        expected = gh.pagerank(tolerance=1e-6)
+        gh.close()
+        with ClusterBuild(num_servers=N_SERVERS) as build:
+            gh2 = GraphH(build=build)
+            gh2.load_graph(graph, name="shared")
+            got = gh2.pagerank(tolerance=1e-6)
+            gh2.close()
+        assert expected.tobytes() == got.tobytes()
+
+    def test_build_warm_engine_is_cached(self, graph):
+        with ClusterBuild(num_servers=2) as build:
+            build.load(graph, name="warm")
+            m1 = build.mpe("warm")
+            m2 = build.mpe("warm")
+            assert m1 is m2
+            m3 = build.mpe("warm", fresh=True)
+            assert m3 is not m1
+            assert build.mpe("warm") is m3  # fresh engine replaces cache
+
+
+# ----------------------------------------------------------------------
+# CLI: repro serve under SIGTERM (graceful drain end-to-end)
+# ----------------------------------------------------------------------
+class TestServeCli:
+    def test_sigterm_drains_and_persists(self, tmp_path):
+        edges = tmp_path / "g.csv"
+        env = dict(os.environ, PYTHONPATH="src")
+        subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "generate", str(edges),
+                "--kind", "rmat", "--scale", "6", "--seed", "5",
+            ],
+            check=True, env=env, cwd=_repo_root(),
+        )
+        state = tmp_path / "state"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve", str(edges),
+                "--servers", "2", "--port", "0",
+                "--state-dir", str(state),
+                "--trace-out", str(tmp_path / "trace.json"),
+            ],
+            env=env, cwd=_repo_root(),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if "listening on" in line:
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+            assert port, "serve never reported its port"
+            client = SocketServiceClient(port=port, timeout=60.0)
+            submitted = client.submit(
+                graph="g", algorithm="pagerank", params=PAGERANK_PARAMS
+            )
+            assert submitted["ok"], submitted
+            job = client.wait(submitted["job_id"], timeout=60.0)
+            assert job["status"] == JobStatus.DONE
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "draining" in out
+        assert (state / "jobs.json").exists()
+        trace = json.loads((tmp_path / "trace.json").read_text())
+        service_spans = [
+            e for e in trace["traceEvents"]
+            if e.get("name") == "job" and e.get("ph") == "X"
+        ]
+        assert service_spans, "no job spans in the exported trace"
+
+
+def _repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+# ----------------------------------------------------------------------
+# Concurrency: jobs never interleave observable state
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_concurrent_jobs_match_sequential_stories(self, graph):
+        """N jobs drained by 2 workers produce the same per-job metered
+        stories as the same specs run strictly one at a time."""
+        specs = [
+            JobSpec(
+                graph="tiny",
+                algorithm="pagerank",
+                params=PAGERANK_PARAMS,
+                max_supersteps=6,
+            ),
+            JobSpec(graph="tiny", algorithm="sssp", params={"source": 1}),
+            JobSpec(graph="tiny", algorithm="degree"),
+        ] * 2
+
+        sequential = Engine(num_servers=2, share_tiles=False)
+        try:
+            sequential.register_graph(graph, name="tiny")
+            expected = [
+                _warm_story(_run_one(sequential, s).result) for s in specs
+            ]
+        finally:
+            sequential.shutdown()
+
+        concurrent = Engine(num_servers=2, share_tiles=False)
+        try:
+            concurrent.register_graph(graph, name="tiny")
+            records = [concurrent.submit(s) for s in specs]
+            concurrent.start(job_workers=2)
+            for record in records:
+                concurrent.wait(record.job_id, timeout=120.0)
+                assert record.status == JobStatus.DONE, record.reason
+            # Jobs may run in any order, but each spec's story is fixed.
+            by_spec = {}
+            for spec, story in zip(specs, expected):
+                by_spec.setdefault(spec.algorithm, story)
+            for record in records:
+                assert (
+                    _warm_story(record.result)
+                    == by_spec[record.spec.algorithm]
+                )
+        finally:
+            concurrent.shutdown()
