@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Autotuner-vs-oracle benchmark: how close does online tuning land?
+
+For each (dataset, algorithm) cell the bench runs
+
+* a **fixed-config grid** — every message codec under hybrid comm plus
+  the two forced comm modes at the default codec, each configuration
+  held for the whole run; the cheapest row (total modeled job seconds)
+  is the **oracle**: the best any static choice could have done, found
+  by exhaustive search the tuner is not allowed;
+* a **tuned run** from the stock default config (``tune=True``) whose
+  total modeled seconds *include* the exploration window — the codec
+  rotation's mispriced supersteps are part of the tuner's bill; and
+* a **tuned run from a deliberately bad start** (slowest codec, forced
+  dense broadcast) — informational: how much of a misconfiguration the
+  mid-run switches claw back.
+
+One extra PageRank cell runs capacity-constrained (an edge cache far
+smaller than the tile set) fixed-vs-tuned, exercising the tuner's
+metered mid-run ``cache->modeN`` switch path.
+
+Acceptance (enforced in-bench, re-checked by ``check_regress.py``):
+the default-start tuned run must land within 10% of the oracle, and
+every run in a cell — fixed, tuned, bad-start — must produce bitwise
+identical vertex values (knob switches are lossless re-encodings).
+
+All reported numbers are *modeled* seconds — deterministic pure
+functions of metered volumes — so ``check_regress.py`` compares them
+exactly, on any host.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tuning.py           # bench tier
+    PYTHONPATH=src python benchmarks/bench_tuning.py --smoke   # CI smoke
+
+Emits ``BENCH_tuning.json`` at the repository root by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from _common import REPO_ROOT, base_report, write_report
+
+NUM_SERVERS = 4
+PAGERANK_SUPERSTEPS = 16  # tolerance=0: every config times identical work
+SSSP_MAX_SUPERSTEPS = 48
+
+DATASETS = ("twitter2010-s", "uk2007-s")
+CODECS = ("raw", "snappylike", "zlib1", "zlib3")
+
+# The deliberately bad starting point for the recovery row: the
+# slowest-decoding codec and a forced-dense broadcast.
+BAD_START = {"message_codec": "zlib3", "comm_mode": "dense"}
+
+# Capacity-constrained cell: an edge cache far below the tile set so
+# §IV-B's rule wants a compressed mode and the tuner must pay a metered
+# mid-run re-encode to get there.
+SMALL_CACHE = 64 * 1024
+
+
+def _program(algo: str):
+    if algo == "pagerank":
+        from repro.apps import PageRank
+
+        return PageRank(tolerance=0.0)
+    from repro.apps import SSSP
+
+    return SSSP(source=0)
+
+
+def _run(tier: str, dataset: str, algo: str, **config_kwargs):
+    """One full run; returns (total modeled job seconds, result)."""
+    from repro.analysis.experiments import run_graphh
+    from repro.core import MPEConfig
+    from repro.graph import load_dataset
+
+    graph = load_dataset(dataset, tier)
+    max_supersteps = (
+        PAGERANK_SUPERSTEPS if algo == "pagerank" else SSSP_MAX_SUPERSTEPS
+    )
+    result, cluster = run_graphh(
+        graph,
+        _program(algo),
+        NUM_SERVERS,
+        config=MPEConfig(**config_kwargs),
+        max_supersteps=max_supersteps,
+    )
+    cluster.close()
+    total = round(
+        float(sum(s.modeled.total_s for s in result.supersteps if s.modeled)),
+        9,
+    )
+    return total, result
+
+
+def _grid(algo: str) -> list[tuple[str, dict]]:
+    """The fixed-config oracle grid: codecs × hybrid + forced comms."""
+    rows = [(f"{codec}+hybrid", {"message_codec": codec}) for codec in CODECS]
+    rows += [
+        (f"snappylike+{comm}", {"comm_mode": comm})
+        for comm in ("dense", "sparse")
+    ]
+    return rows
+
+
+def run_cell(report, tier, dataset, algo, grid, with_badstart=True):
+    """One (dataset, algorithm) cell: grid + tuned (+ bad start)."""
+    cell = f"{dataset}:{algo}"
+    reference = None
+    oracle_s, oracle_config = None, None
+    for label, kwargs in grid:
+        fixed_s, result = _run(tier, dataset, algo, **kwargs)
+        if reference is None:
+            reference = result.values
+        elif not np.array_equal(result.values, reference):
+            raise SystemExit(f"values diverged: {cell} fixed {label}")
+        if oracle_s is None or fixed_s < oracle_s:
+            oracle_s, oracle_config = fixed_s, label
+        report["results"].append(
+            {
+                "config": f"{cell}:fixed:{label}",
+                "num_servers": NUM_SERVERS,
+                "modeled_job_s": fixed_s,
+                "num_supersteps": result.num_supersteps,
+            }
+        )
+        print(f"  fixed {label:<20} modeled {fixed_s:.4f}s")
+
+    tuned_s, tuned = _run(tier, dataset, algo, tune=True)
+    if not np.array_equal(tuned.values, reference):
+        raise SystemExit(f"values diverged: {cell} tuned")
+    plan = (tuned.tuning or {}).get("plan", {})
+    gap = tuned_s / oracle_s - 1.0
+    report["results"].append(
+        {
+            "config": f"{cell}:tuned",
+            "num_servers": NUM_SERVERS,
+            "tuner_modeled_s": tuned_s,
+            "oracle_modeled_s": oracle_s,
+            "oracle_config": oracle_config,
+            "gap_vs_oracle": round(gap, 6),
+            "num_supersteps": tuned.num_supersteps,
+            "num_switches": len(plan.get("switch_supersteps", [])),
+        }
+    )
+    print(
+        f"  tuned                      modeled {tuned_s:.4f}s vs oracle "
+        f"{oracle_config} {oracle_s:.4f}s (gap {100 * gap:+.2f}%)"
+    )
+    if gap > 0.10:
+        raise SystemExit(
+            f"{cell}: tuned run {tuned_s:.4f}s is {100 * gap:.1f}% over the "
+            f"oracle {oracle_config} {oracle_s:.4f}s — above the 10% gate"
+        )
+
+    if with_badstart:
+        # Informational: the same misconfiguration held for the whole
+        # run vs tuned from it — what mid-run switching claws back.
+        stuck_s, _ = _run(tier, dataset, algo, **BAD_START)
+        bad_s, bad = _run(tier, dataset, algo, tune=True, **BAD_START)
+        if not np.array_equal(bad.values, reference):
+            raise SystemExit(f"values diverged: {cell} tuned-badstart")
+        report["results"].append(
+            {
+                "config": f"{cell}:tuned-badstart",
+                "num_servers": NUM_SERVERS,
+                "tuner_modeled_s": bad_s,
+                "stuck_modeled_s": stuck_s,
+                "oracle_modeled_s": oracle_s,
+                "recovered_fraction": round(
+                    (stuck_s - bad_s) / (stuck_s - oracle_s), 6
+                )
+                if stuck_s > oracle_s
+                else None,
+            }
+        )
+        print(
+            f"  tuned (bad start)          modeled {bad_s:.4f}s "
+            f"(held: {stuck_s:.4f}s)"
+        )
+
+
+def run_small_cache_cell(report, tier, dataset):
+    """Capacity-constrained PageRank: fixed vs tuned under a tiny cache."""
+    cell = f"{dataset}:pagerank:smallcache"
+    fixed_s, fixed = _run(
+        tier, dataset, "pagerank", cache_capacity_bytes=SMALL_CACHE
+    )
+    tuned_s, tuned = _run(
+        tier,
+        dataset,
+        "pagerank",
+        cache_capacity_bytes=SMALL_CACHE,
+        tune=True,
+    )
+    if not np.array_equal(tuned.values, fixed.values):
+        raise SystemExit(f"values diverged: {cell}")
+    plan = (tuned.tuning or {}).get("plan", {})
+    cache_switches = [
+        d["superstep"]
+        for d in plan.get("decisions", [])
+        if d["knobs"].get("cache_mode") is not None
+    ]
+    report["results"].append(
+        {
+            "config": cell,
+            "num_servers": NUM_SERVERS,
+            "modeled_job_s": fixed_s,
+            "tuner_modeled_s": tuned_s,
+            "cache_switch_supersteps": cache_switches,
+        }
+    )
+    print(
+        f"  smallcache fixed {fixed_s:.4f}s tuned {tuned_s:.4f}s "
+        f"(cache switches at {cache_switches or 'none'})"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tier", default="bench", choices=["test", "bench"])
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_tuning.json"))
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast run for CI: test tier, one dataset, pagerank only",
+    )
+    args = parser.parse_args()
+
+    tier = "test" if args.smoke else args.tier
+    datasets = DATASETS[:1] if args.smoke else DATASETS
+    algos = ("pagerank",) if args.smoke else ("pagerank", "sssp")
+
+    report = base_report(
+        "tuning",
+        dataset=",".join(datasets),
+        tier=tier,
+        program="pagerank(tolerance=0), sssp(source=0)",
+        supersteps=PAGERANK_SUPERSTEPS,
+        num_servers=NUM_SERVERS,
+    )
+
+    for dataset in datasets:
+        for algo in algos:
+            print(f"== {dataset} {algo} ==")
+            run_cell(
+                report,
+                tier,
+                dataset,
+                algo,
+                _grid(algo),
+                with_badstart=not args.smoke,
+            )
+    print(f"== {datasets[0]} pagerank (capacity-constrained) ==")
+    run_small_cache_cell(report, tier, datasets[0])
+
+    write_report(report, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,8 @@
 
 Re-runs the JSON-emitting benches (``bench_hotpath.py``, its
 ``--sweep`` mode, ``bench_faults.py``, ``bench_prefetch.py``,
-``bench_scale.py``) at the *baseline's own tier* and
-compares row by row:
+``bench_scale.py``, ``bench_service.py``, ``bench_tuning.py``) at the
+*baseline's own tier* and compares row by row:
 
 * **Wall-clock rows** (hotpath / procpool): fail when a fresh row's
   ``supersteps_per_s`` is more than ``--threshold`` (default 25%)
@@ -13,11 +13,12 @@ compares row by row:
   parallelism — matches the baseline's, so a 1-core container never
   "regresses" against a multi-core recording (or vice versa); mismatched
   rows are reported as skipped, not failed.
-* **Deterministic rows** (faults, scale): re-executed supersteps,
-  recovery bytes, checkpoint counts/bytes, restarts, skipped-tile
-  counts, metered disk bytes, and the modeled job seconds are
-  executor- and host-invariant, so they must match the baseline
-  *exactly*.  Any drift is a correctness regression, whatever its sign.
+* **Deterministic rows** (faults, scale, tuning): re-executed
+  supersteps, recovery bytes, checkpoint counts/bytes, restarts,
+  skipped-tile counts, metered disk bytes, the modeled job seconds,
+  and the autotuner's oracle gap / decision counts are executor- and
+  host-invariant, so they must match the baseline *exactly*.  Any
+  drift is a correctness regression, whatever its sign.
 
 ``--report-only`` prints the same comparison but always exits 0 — CI's
 mode on shared runners, where wall-clock noise is expected; the table
@@ -86,6 +87,12 @@ BENCHMARKS = {
         False,
         "jobs_per_s",
     ),
+    "tuning": (
+        "BENCH_tuning.json",
+        ["bench_tuning.py"],
+        ("config",),
+        True,
+    ),
 }
 
 
@@ -111,6 +118,11 @@ _EXACT_KEYS = (
     "disk_read_bytes",
     "modeled_job_s",
     "converged",
+    "tuner_modeled_s",
+    "oracle_modeled_s",
+    "oracle_config",
+    "gap_vs_oracle",
+    "num_switches",
 )
 
 

@@ -114,6 +114,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "memmaps (semi-external memory — scales past RAM)",
     )
     parser.add_argument(
+        "--tune",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="online autotuner: fit the cost model to the first "
+        "supersteps, then switch codec/comm/cache/prefetch knobs "
+        "mid-run at superstep boundaries (repro.tuning)",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="JSON",
@@ -188,6 +196,7 @@ def _run(graph: Graph, program, args):
         io_threads=args.io_threads,
         selective_scheduling=args.selective,
         vertex_store=args.vertex_store,
+        tune=args.tune,
     )
     with GraphH(
         num_servers=args.servers,
@@ -205,6 +214,19 @@ def _run(graph: Graph, program, args):
             f"{program.name}: {result.num_supersteps} supersteps, "
             f"converged={result.converged}"
         )
+        if result.tuning:
+            switches = (result.tuning.get("plan") or {}).get(
+                "switch_supersteps", []
+            )
+            print(
+                "tuning: "
+                + (
+                    "switched knobs at superstep(s) "
+                    + ", ".join(str(s) for s in switches)
+                    if switches
+                    else "held the configured knobs"
+                )
+            )
         if args.trace_out:
             print(
                 f"wrote Chrome trace ({gh.tracer.total_events} events) "
@@ -271,6 +293,7 @@ def cmd_wcc(args) -> int:
         io_threads=args.io_threads,
         selective_scheduling=args.selective,
         vertex_store=args.vertex_store,
+        tune=args.tune,
     )
     with GraphH(
         num_servers=args.servers,
@@ -389,6 +412,7 @@ def cmd_chaos(args) -> int:
                 io_threads=args.io_threads,
                 selective_scheduling=args.selective,
                 vertex_store=args.vertex_store,
+                tune=args.tune,
             ),
         )
 
@@ -483,6 +507,7 @@ def cmd_trace(args) -> int:
         io_threads=args.io_threads,
         selective_scheduling=args.selective,
         vertex_store=args.vertex_store,
+        tune=args.tune,
     )
     with GraphH(
         num_servers=args.servers,
@@ -498,6 +523,7 @@ def cmd_trace(args) -> int:
             dataset=gh.manifest.name,
             program=program.name,
             num_servers=args.servers,
+            extra={"tuning": result.tuning} if result.tuning else None,
         )
         if args.metrics_out:
             write_prometheus(gh.tracer.metrics, args.metrics_out)
@@ -522,6 +548,60 @@ def cmd_trace(args) -> int:
                 f"wrote Chrome trace ({gh.tracer.total_events} events, "
                 f"validated) to {args.out}"
             )
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """Run one algorithm under the online autotuner (``repro tune``).
+
+    Prints the Table-3 phase breakdown plus the tuning appendix —
+    fitted cost-model constants, fit residuals, and the per-superstep
+    decision trace — and optionally saves the run report JSON
+    (readable back with ``repro report``).
+    """
+    from repro.obs.report import (
+        build_run_report,
+        format_run_report,
+        save_run_report,
+    )
+
+    graph = _load(args.path)
+    if args.algorithm == "pagerank":
+        program = PageRank(damping=args.damping)
+    elif args.algorithm == "sssp":
+        program = SSSP(source=args.source)
+    elif args.algorithm == "bfs":
+        program = BFS(source=args.source)
+    else:
+        from repro.apps import WCC
+
+        graph = graph.to_undirected_edges()
+        program = WCC()
+
+    config = MPEConfig(
+        executor=args.executor,
+        num_workers=args.num_workers,
+        prefetch_depth=args.prefetch_depth,
+        io_threads=args.io_threads,
+        selective_scheduling=args.selective,
+        vertex_store=args.vertex_store,
+        tune=True,
+    )
+    with GraphH(num_servers=args.servers, config=config) as gh:
+        gh.load_graph(graph, avg_tile_edges=args.tile_edges)
+        result = gh.run(program)
+        report = build_run_report(
+            result,
+            gh.cluster,
+            dataset=gh.manifest.name,
+            program=program.name,
+            num_servers=args.servers,
+            extra={"tuning": result.tuning},
+        )
+    if args.report_out:
+        save_run_report(report, args.report_out)
+        print(f"wrote run report to {args.report_out}")
+    print(format_run_report(report))
     return 0
 
 
@@ -637,6 +717,7 @@ def _submit_spec(args) -> dict:
         "io_threads",
         "selective",
         "vertex_store",
+        "tune",
         "max_supersteps",
     ):
         value = getattr(args, knob)
@@ -775,6 +856,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bitmap selective scheduling (GraphMP)")
     t.add_argument("--vertex-store", choices=("mem", "mmap"), default="mem",
                    help="vertex replica backing: RAM or file-backed memmaps")
+    t.add_argument("--tune", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="online autotuner (adds a tuning lane + report section)")
     t.add_argument(
         "--out", default=None, metavar="JSON",
         help="Chrome trace-event JSON (validated after writing)",
@@ -786,6 +870,34 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--report-out", default=None, metavar="JSON",
                    help="run report JSON (read back by `repro report`)")
     t.set_defaults(func=cmd_trace)
+
+    n = sub.add_parser(
+        "tune",
+        help="run with the online autotuner: fit the cost model, switch "
+        "knobs mid-run, print fitted constants + the decision trace",
+    )
+    n.add_argument("algorithm", choices=("pagerank", "sssp", "bfs", "wcc"))
+    n.add_argument("path")
+    n.add_argument("--servers", type=int, default=4, help="cluster width")
+    n.add_argument("--tile-edges", type=int, default=None)
+    n.add_argument("--damping", type=float, default=0.85)
+    n.add_argument("--source", type=int, default=0)
+    n.add_argument(
+        "--executor",
+        choices=("serial", "parallel", "process"),
+        default="serial",
+    )
+    n.add_argument("--num-workers", type=int, default=None, metavar="K")
+    n.add_argument("--prefetch-depth", type=int, default=0, metavar="D",
+                   help="starting pipeline depth (the tuner may change it)")
+    n.add_argument("--io-threads", type=int, default=1, metavar="T")
+    n.add_argument("--selective", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="bitmap selective scheduling (GraphMP)")
+    n.add_argument("--vertex-store", choices=("mem", "mmap"), default="mem")
+    n.add_argument("--report-out", default=None, metavar="JSON",
+                   help="run report JSON (read back by `repro report`)")
+    n.set_defaults(func=cmd_tune)
 
     q = sub.add_parser(
         "report", help="print a saved run report as a Table-3-style table"
@@ -829,6 +941,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bitmap selective scheduling (GraphMP)")
     c.add_argument("--vertex-store", choices=("mem", "mmap"), default="mem",
                    help="vertex replica backing: RAM or file-backed memmaps")
+    c.add_argument("--tune", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="online autotuner (decision trace replays across "
+                   "fault-recovery retries)")
     c.add_argument("--crash-at", type=int, default=None, metavar="STEP",
                    help="crash a server at this superstep")
     c.add_argument("--crash-server", type=int, default=0)
@@ -910,6 +1026,10 @@ def build_parser() -> argparse.ArgumentParser:
     u.add_argument("--selective", action=argparse.BooleanOptionalAction,
                    default=None)
     u.add_argument("--vertex-store", choices=("mem", "mmap"), default=None)
+    u.add_argument("--tune", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="online autotuner (fitted constants persist on "
+                   "the warm engine across jobs)")
     u.add_argument("--max-supersteps", type=int, default=None)
     u.add_argument("--wait", action="store_true",
                    help="block until the job finishes; exit 1 unless done")

@@ -43,6 +43,28 @@ class Server:
         self.cache.trace = self.trace
         return self.cache
 
+    def switch_cache_mode(self, mode: int) -> int:
+        """Switch the edge cache's mode mid-run, metering the work.
+
+        Resident entries are decompressed under the old codec and
+        re-admitted under the new one (:meth:`EdgeCache.switch_mode`);
+        the decompression is charged like the hit path — old-codec
+        bytes via ``add_decompressed``, nothing for raw mode 1 — and
+        the recompression is uncharged, matching the insert path.  The
+        cache memory gauge is refreshed.  Returns the uncompressed
+        bytes re-encoded (0 when there is no cache or no mode change).
+        """
+        cache = self.cache
+        if cache is None or cache.mode == mode:
+            return 0
+        old_mode = cache.mode
+        old_codec = cache.codec.name
+        raw_bytes = cache.switch_mode(mode)
+        if raw_bytes and old_mode != 1:
+            self.counters.add_decompressed(old_codec, raw_bytes)
+        self.counters.set_memory("cache", cache.used_bytes)
+        return raw_bytes
+
     def attach_decoded_cache(
         self, max_entries: int | None = None
     ) -> DecodedTileCache:

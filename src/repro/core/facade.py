@@ -173,6 +173,11 @@ class GraphH:
     vertex_store:
         ``"mem"`` or ``"mmap"`` (semi-external-memory replica arrays);
         overlays ``config`` when given.
+    tune:
+        Online autotuner (:mod:`repro.tuning`): fit the cost model from
+        the first supersteps, then switch codec / comm / bloom / cache /
+        prefetch knobs at superstep boundaries.  Overlays
+        ``config.tune`` when given.
     trace:
         ``True`` enables the observability subsystem (:mod:`repro.obs`):
         every run records spans/instants into :attr:`tracer` and bridges
@@ -204,6 +209,7 @@ class GraphH:
         io_threads: int | None = None,
         selective: bool | None = None,
         vertex_store: str | None = None,
+        tune: bool | None = None,
         trace=False,
         trace_out: str | None = None,
         build: ClusterBuild | None = None,
@@ -228,6 +234,8 @@ class GraphH:
             overrides["selective_scheduling"] = selective
         if vertex_store is not None:
             overrides["vertex_store"] = vertex_store
+        if tune is not None:
+            overrides["tune"] = tune
         if overrides:
             self.config = dataclasses.replace(self.config, **overrides)
         self.tracer = None

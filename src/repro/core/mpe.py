@@ -46,7 +46,7 @@ from repro.core.vertexstore import (
     SharedOnDemandStore,
     SharedVertexStore,
 )
-from repro.metrics.cost import CostModel, SuperstepCost
+from repro.metrics.cost import CostModel, CostSample, SuperstepCost
 from repro.metrics.schedule import effective_parallel_volume
 from repro.partition.tiles import (
     Tile,
@@ -60,7 +60,8 @@ from repro.runtime import (
 )
 from repro.runtime.active import ActiveBitmap, TileSourceSummary
 from repro.storage.backing import BackingStore
-from repro.storage.cache import select_cache_mode
+from repro.storage.cache import cache_plan
+from repro.tuning import KnobSettings, Tuner, TuningSample
 from repro.utils.bloom import ALL_KEYS, BloomFilter, HashedKeys, hash_keys
 from repro.utils.segments import merge_sorted_unique, segment_reduce
 
@@ -128,6 +129,13 @@ class MPEConfig:
     # works unchanged, as do checkpoint/restore.  Results and metering
     # are bitwise identical in both modes.
     vertex_store: str = "mem"
+    # Online autotuner (repro.tuning): record per-phase volumes over the
+    # first supersteps, fit the cost-model constants, then re-evaluate
+    # codec / comm / bloom / cache / prefetch at every superstep
+    # boundary.  Off (the default) is bitwise identical to an engine
+    # without the tuner.  The REPRO_TUNE environment variable overrides
+    # this at run time (CI's forcing flag).
+    tune: bool = False
 
     def __post_init__(self) -> None:
         if self.comm_mode not in ("hybrid", "dense", "sparse"):
@@ -195,6 +203,9 @@ class RunResult:
     # override already applied) and which vertex-store backing ran.
     selective: bool = False
     vertex_store: str = "mem"
+    # Autotuner summary (fitted constants, residuals, decision trace)
+    # when the run was tuned or consumed a scripted plan; None otherwise.
+    tuning: dict | None = None
 
     @property
     def num_supersteps(self) -> int:
@@ -247,16 +258,15 @@ class RunResult:
         the host-runtime summary from :meth:`runtime`)."""
         import json
 
+        out = {
+            "converged": self.converged,
+            "runtime": self.runtime(),
+            "supersteps": self.trace(),
+        }
+        if self.tuning is not None:
+            out["tuning"] = self.tuning
         with open(path, "w", encoding="utf-8") as fh:
-            json.dump(
-                {
-                    "converged": self.converged,
-                    "runtime": self.runtime(),
-                    "supersteps": self.trace(),
-                },
-                fh,
-                indent=1,
-            )
+            json.dump(out, fh, indent=1)
 
     def total_net_bytes(self) -> int:
         return sum(s.net_bytes for s in self.supersteps)
@@ -316,6 +326,18 @@ class MPE:
         # Effective selective-scheduling flag; re-resolved at the top of
         # run() (REPRO_SELECTIVE override) before setup builds summaries.
         self._selective = self.config.selective_scheduling
+        # Effective autotuning flag (REPRO_TUNE override applied at the
+        # top of run()), the tuner carrying fitted constants across runs
+        # (a warm service engine reuses them job to job), an externally
+        # installed scripted TuningPlan (tests/ablations — consulted
+        # even with tuning off; never written by the tuner), and the
+        # knobs currently in force.  ``_knobs`` is always concrete: an
+        # untuned run holds the config's values for the whole run, so
+        # every knob read below is tune-agnostic.
+        self._tune = self.config.tune
+        self.tuner: Tuner | None = None
+        self.tuning_plan = None
+        self._knobs = self._base_knobs()
         # Per-tile exact source summaries (tile_id -> TileSourceSummary)
         # backing the bitmap prune; built at setup when selective
         # scheduling is on, lazily backfilled if the env override turns
@@ -362,7 +384,13 @@ class MPE:
         traced runs clean again.
         """
         tracer = self.tracer
-        prefetch_on = self._prefetch_depth > 0
+        # A tuned (or scripted) run may switch the pipeline on mid-run;
+        # its buffers must exist before the process pool forks.
+        prefetch_on = (
+            self._prefetch_depth > 0
+            or self._tune
+            or self.tuning_plan is not None
+        )
         for server in self.cluster.servers:
             buf = tracer.server(server.server_id) if tracer is not None else None
             server.trace = buf
@@ -457,11 +485,15 @@ class MPE:
             per_server_bytes[server_id] += len(blob)
             if (
                 self.config.use_bloom_filters
+                # A tuned run may switch filtering on mid-run; build the
+                # filters now, while the decoded tile is already in hand
+                # (and before the process pool would fork).
+                or self._tune
                 or self._selective
                 or self.config.replication_policy == "od"
             ):
                 tile = Tile.from_bytes(blob)
-                if self.config.use_bloom_filters:
+                if self.config.use_bloom_filters or self._tune:
                     self._blooms[tile_id] = tile.build_bloom_filter(
                         self.config.bloom_false_positive_rate
                     )
@@ -488,12 +520,11 @@ class MPE:
         # Edge cache per server (§IV-B): capacity = configured budget,
         # mode auto-selected from the server's own tile volume.
         for server_id, server in enumerate(self.cluster.servers):
-            capacity = self.config.cache_capacity_bytes
-            if capacity is None:
-                capacity = max(per_server_bytes[server_id], 1)
-            mode = self.config.cache_mode
-            if mode is None:
-                mode = select_cache_mode(per_server_bytes[server_id], capacity)
+            capacity, mode = cache_plan(
+                per_server_bytes[server_id],
+                self.config.cache_capacity_bytes,
+                mode=self.config.cache_mode,
+            )
             server.attach_cache(capacity_bytes=capacity, mode=mode)
             if self.config.decoded_cache:
                 server.attach_decoded_cache(
@@ -529,6 +560,8 @@ class MPE:
         # these fields by value.
         self._prefetch_depth, self._io_threads = self._resolve_prefetch()
         self._selective = self._resolve_selective()
+        self._tune = self._resolve_tune()
+        self._knobs = self._base_knobs()
         self._wire_tracer()
         ebuf = self.tracer.engine() if self.tracer is not None else None
         if ebuf is not None:
@@ -542,6 +575,32 @@ class MPE:
         # on (it is idempotent); backfill the source summaries from the
         # already-fetched blobs, unmetered (host-side schedule state).
         self._ensure_summaries()
+        # --- autotuning (repro.tuning) --------------------------------
+        # An externally scripted plan wins (tests/ablations force known
+        # switches); otherwise a tuned run builds/continues the tuner's
+        # recorded plan.  Both are consulted only at superstep
+        # boundaries, parent-side, so every executor and fault replay
+        # consumes the identical decision trace.
+        tuner: Tuner | None = None
+        plan = self.tuning_plan
+        if plan is None and self._tune:
+            if self.tuner is None:
+                self.tuner = Tuner()
+            tuner = self.tuner
+            plan = tuner.begin_run(
+                self._tuning_signature(program), self._base_knobs()
+            )
+        tbuf = (
+            self.tracer.tuning()
+            if self.tracer is not None and plan is not None
+            else None
+        )
+        if tbuf is not None:
+            tbuf.instant(
+                "tuning_start",
+                "tuning",
+                mode="tuner" if tuner is not None else "scripted",
+            )
         # A supervised retry may leave half-delivered broadcasts from an
         # aborted superstep behind; every run starts with clean mailboxes.
         self.channel.clear_all()
@@ -685,6 +744,18 @@ class MPE:
                 before = {
                     s.server_id: CounterSnapshot.capture(s) for s in servers
                 }
+                # Consult the plan *after* the snapshots: a serial/thread
+                # cache-mode switch is charged on the parent's counters
+                # and must land inside this superstep's deltas, exactly
+                # where a worker-side switch lands in process mode.
+                if plan is not None:
+                    self._apply_knobs(
+                        self._superstep_knobs(superstep, tuner, plan),
+                        servers,
+                        use_process,
+                        superstep,
+                        tbuf,
+                    )
                 tiles_processed = 0
                 tiles_skipped = 0
                 message_modes: list[int] = []
@@ -706,6 +777,17 @@ class MPE:
                 skip_sets = self._compute_skip_sets(
                     superstep, prev_updated, num_vertices
                 )
+                # Live working set for the tuner's cache decision: the
+                # bytes each server's sweep will actually serve this
+                # superstep, reproduced parent-side from the same skip
+                # logic the sweep applies (executor-independent).
+                sched_bytes = (
+                    self._scheduled_bytes(
+                        superstep, prev_updated, num_vertices, skip_sets
+                    )
+                    if tuner is not None
+                    else None
+                )
                 if use_process:
                     steps = self._process_compute_phase(
                         executor,
@@ -724,7 +806,7 @@ class MPE:
                     # filter answer from its insert count alone — provably
                     # the same decision, zero hashing.
                     prev_hashed = None
-                    if cfg.use_bloom_filters and prev_updated is not None:
+                    if self._knobs.use_bloom and prev_updated is not None:
                         prev_hashed = (
                             ALL_KEYS
                             if prev_updated.size == num_vertices
@@ -861,6 +943,20 @@ class MPE:
                 )
                 if self._obs_wall is not None:
                     self._obs_wall.observe(reports[-1].wall_s)
+                if tuner is not None:
+                    self._observe_tuning(
+                        tuner,
+                        superstep,
+                        step_deltas,
+                        before,
+                        step_cost,
+                        reports[-1],
+                        cost_model,
+                        num_vertices,
+                        servers,
+                        sched_bytes,
+                        tbuf,
+                    )
                 if ebuf is not None:
                     ebuf.end()  # account
                 if (
@@ -922,6 +1018,11 @@ class MPE:
             prefetch_depth=self._prefetch_depth,
             selective=self._selective,
             vertex_store=cfg.vertex_store,
+            tuning=(
+                tuner.report()
+                if tuner is not None
+                else {"plan": plan.to_dict()} if plan is not None else None
+            ),
         )
 
     def respawn_server(self, server_id: int) -> int:
@@ -1020,6 +1121,235 @@ class MPE:
         raise ValueError(
             f"REPRO_SELECTIVE must be a boolean flag, got {raw!r}"
         )
+
+    def _resolve_tune(self) -> bool:
+        """Resolve this run's autotuning flag.
+
+        ``REPRO_TUNE`` (CI's forcing flag, mirroring
+        ``REPRO_SELECTIVE``/``REPRO_EXECUTOR``) overrides the config.
+        """
+        raw = os.environ.get("REPRO_TUNE", "").strip().lower()
+        if not raw:
+            return self.config.tune
+        if raw in ("1", "true", "on", "yes"):
+            return True
+        if raw in ("0", "false", "off", "no"):
+            return False
+        raise ValueError(f"REPRO_TUNE must be a boolean flag, got {raw!r}")
+
+    # ------------------------------------------------------------------
+    # Autotuning (repro.tuning)
+    # ------------------------------------------------------------------
+    def _base_knobs(self) -> KnobSettings:
+        """The configured knob values as one concrete settings object —
+        what every superstep of an untuned run executes, and the
+        tuner's starting point."""
+        cfg = self.config
+        return KnobSettings(
+            message_codec=cfg.message_codec,
+            comm_mode=cfg.comm_mode,
+            use_bloom=cfg.use_bloom_filters,
+            prefetch_depth=self._prefetch_depth,
+            io_threads=self._io_threads,
+            cache_mode=None,
+        )
+
+    def _tuning_signature(self, program) -> tuple:
+        """What makes two runs "the same run" to the tuner: identical
+        signature → the recorded plan replays (fault retry, identical
+        resubmission); different → new plan, constants kept."""
+        return (
+            self.manifest.name,
+            program.name,
+            self.config,
+            self._selective,
+            self._prefetch_depth,
+            self._io_threads,
+        )
+
+    def _superstep_knobs(self, superstep, tuner, plan) -> KnobSettings:
+        """Resolve the knobs governing ``superstep`` (parent-side, the
+        single decision point).  The tuner records as it decides;
+        scripted plans answer from their sticky map.  A forced
+        ``REPRO_PREFETCH`` depth pins the pipeline knobs — CI forces a
+        depth precisely to exercise it, so decisions must not un-force
+        it."""
+        if tuner is not None:
+            knobs = tuner.knobs_for(superstep)
+        else:
+            knobs = plan.knobs_for(superstep) or self._knobs.replace(
+                cache_mode=None
+            )
+        if os.environ.get("REPRO_PREFETCH", "").strip():
+            knobs = knobs.replace(
+                prefetch_depth=self._prefetch_depth,
+                io_threads=self._io_threads,
+            )
+        return knobs
+
+    def _apply_knobs(
+        self, knobs: KnobSettings, servers, use_process: bool, superstep, tbuf
+    ) -> None:
+        """Put ``knobs`` into force for this superstep.
+
+        Cache-mode switches are executor-split: serial/thread runs
+        switch the parent's (authoritative) caches with metering; in
+        process mode the workers own the live contents and meter their
+        own switch inside the compute handler, so the parent only
+        re-aligns its mirror's *mode* silently (stats are mirrored back
+        absolutely every superstep, and the end-of-run content resync
+        must recompress with the worker's final codec).
+        """
+        switched = knobs != self._knobs
+        if knobs.cache_mode is not None:
+            for server in servers:
+                if server.cache is None:
+                    continue
+                if server.cache.mode != knobs.cache_mode:
+                    switched = True
+                if use_process:
+                    server.cache.switch_mode(knobs.cache_mode)
+                else:
+                    server.switch_cache_mode(knobs.cache_mode)
+        if knobs.use_bloom:
+            self._ensure_blooms()
+        if tbuf is not None and switched:
+            tbuf.instant(
+                "knob_switch",
+                "tuning",
+                superstep=superstep,
+                message_codec=knobs.message_codec,
+                comm_mode=knobs.comm_mode,
+                use_bloom=knobs.use_bloom,
+                prefetch_depth=knobs.prefetch_depth,
+                io_threads=knobs.io_threads,
+                cache_mode=knobs.cache_mode,
+            )
+        self._knobs = knobs
+
+    def _ensure_blooms(self) -> None:
+        """Backfill missing bloom filters from the fetched blobs (host
+        plumbing: ``disk.peek`` is unmetered).
+
+        Covers filtering switched on mid-run when setup had no reason
+        to build filters (scripted plans on a ``tune=off`` engine).
+        Runs parent-side and, in process mode, once per worker —
+        ``build_bloom_filter`` is a pure function of the tile and the
+        configured false-positive rate, so every copy answers probes
+        identically.
+        """
+        if len(self._blooms) >= self.manifest.num_tiles:
+            return
+        for server in self.cluster.servers:
+            for tile_id, name, _nbytes in self._assignments[server.server_id]:
+                if tile_id not in self._blooms:
+                    tile = Tile.from_bytes(server.disk.peek(name))
+                    self._blooms[tile_id] = tile.build_bloom_filter(
+                        self.config.bloom_false_positive_rate
+                    )
+
+    def _scheduled_bytes(
+        self, superstep, prev_updated, num_vertices, skip_sets
+    ) -> list[int]:
+        """Per-server bytes the sweeps will serve this superstep —
+        the surviving tiles' blob sizes after the same bitmap + bloom
+        pruning the sweeps apply.  Pure parent-side arithmetic over
+        static assignments and this superstep's frozen skip decisions,
+        so it is identical across executors."""
+        knobs = self._knobs
+        prev_hashed = None
+        if knobs.use_bloom and prev_updated is not None and superstep > 0:
+            prev_hashed = (
+                ALL_KEYS
+                if prev_updated.size == num_vertices
+                else hash_keys(prev_updated)
+            )
+        out = []
+        for server_id, tiles in enumerate(self._assignments):
+            skips = skip_sets[server_id] if skip_sets is not None else None
+            total = 0
+            for tile_id, _name, nbytes in tiles:
+                if skips is not None and tile_id in skips:
+                    continue
+                if prev_hashed is not None and not self._blooms[
+                    tile_id
+                ].might_intersect(prev_hashed):
+                    continue
+                total += nbytes
+            out.append(total)
+        return out
+
+    def _observe_tuning(
+        self,
+        tuner,
+        superstep,
+        step_deltas,
+        before,
+        step_cost,
+        report,
+        cost_model,
+        num_vertices,
+        servers,
+        sched_bytes,
+        tbuf,
+    ) -> None:
+        """Feed one finished superstep to the tuner.
+
+        The fit row follows the cost model's straggler attribution;
+        the default (deterministic) observation is the modeled superstep
+        seconds minus injected fault delay, so faults perturb neither
+        the fit nor the decision trace.
+        """
+        knobs = self._knobs
+        straggler = cost_model.straggler_index(step_deltas)
+        observed = (
+            report.wall_s
+            if tuner.config.time_source == "wall"
+            else step_cost.total_s - step_cost.fault_s
+        )
+        cost = CostSample.from_deltas(step_deltas, observed, straggler)
+        # Message-path codec bytes on the straggler: its total codec
+        # volume minus the edge cache's share when cache and message
+        # path share a codec.
+        d = step_deltas[straggler]
+        sserver = servers[straggler]
+        mc = knobs.message_codec
+        msg_bytes = d.decompressed.get(mc, 0) + d.compressed.get(mc, 0)
+        cache = sserver.cache
+        if cache is not None and cache.mode != 1 and cache.codec.name == mc:
+            snap = before[sserver.server_id]
+            msg_bytes -= (
+                cache.stats.bytes_decompressed - snap.cache_bytes_decompressed
+            )
+        tuner.observe(
+            TuningSample(
+                superstep=superstep,
+                knobs=knobs,
+                cost=cost,
+                msg_codec_bytes=max(0, int(msg_bytes)),
+                updated=report.updated_vertices,
+                num_vertices=num_vertices,
+                tiles_processed=report.tiles_processed,
+                tiles_skipped=report.tiles_skipped,
+                scheduled_bytes=(
+                    sched_bytes[straggler] if sched_bytes is not None else 0
+                ),
+                miss_bytes=int(d.disk_read_random),
+                cache_mode=cache.mode if cache is not None else 1,
+                cache_capacity=(
+                    cache.capacity_bytes if cache is not None else 0
+                ),
+                cache_used=int(sserver.counters.mem_cache),
+                hit_ratio=report.cache_hit_ratio,
+            )
+        )
+        if tbuf is not None and tuner.fit_superstep == superstep:
+            tbuf.instant(
+                "fit",
+                "tuning",
+                superstep=superstep,
+                num_samples=len(tuner.samples),
+            )
 
     # ------------------------------------------------------------------
     # Selective scheduling (repro.runtime.active; GraphMP port)
@@ -1210,7 +1540,18 @@ class MPE:
         server = self.cluster.servers[server_id]
         snap = CounterSnapshot.capture(server)
         if tag == "compute":
-            superstep, spec, skips = payload
+            superstep, spec, skips, knob_tuple = payload
+            # The parent's per-superstep knob decision, applied *after*
+            # the snapshot so a cache-mode switch's metering lands in
+            # this superstep's delta — same instant as serial.  The
+            # switch itself is idempotent per server (sticky workers see
+            # the same directive again next superstep, a no-op), and the
+            # knobs stay in force for this worker's apply phase.
+            self._knobs = KnobSettings.from_tuple(knob_tuple)
+            if self._knobs.cache_mode is not None:
+                server.switch_cache_mode(self._knobs.cache_mode)
+            if self._knobs.use_bloom:
+                self._ensure_blooms()
             prev_hashed = self._worker_hashed_keys(superstep, spec)
             step = self._compute_server_step(
                 self._run_program, server, superstep, prev_hashed, skips
@@ -1303,9 +1644,8 @@ class MPE:
         skip_sets: "list[frozenset[int]] | None" = None,
     ) -> "list[_ProcessStep]":
         """Parent-side compute dispatch for the process executor."""
-        cfg = self.config
         spec = None
-        if cfg.use_bloom_filters and prev_updated is not None:
+        if self._knobs.use_bloom and prev_updated is not None:
             if prev_updated.size == num_vertices:
                 spec = "all"
             else:
@@ -1329,6 +1669,7 @@ class MPE:
                     superstep,
                     spec,
                     skip_sets[s.server_id] if skip_sets is not None else None,
+                    self._knobs.as_tuple(),
                 )
                 for s in servers
             ],
@@ -1522,6 +1863,7 @@ class MPE:
         """:meth:`_compute_server_step` body (split so the traced path
         can wrap it in an exception-safe span)."""
         cfg = self.config
+        knobs = self._knobs
         trace = server.trace
         if self.injector is not None:
             self.injector.on_compute(server)
@@ -1585,7 +1927,7 @@ class MPE:
 
         prefetch_ready = 0
         prefetch_total = 0
-        if self._prefetch_depth > 0 and schedule:
+        if knobs.prefetch_depth > 0 and schedule:
             from repro.runtime.prefetch import TilePrefetcher
 
             # Background threads speculate ahead (read-only, unmetered);
@@ -1597,8 +1939,8 @@ class MPE:
                 server,
                 schedule,
                 self._TILE_PARSER,
-                depth=self._prefetch_depth,
-                io_threads=self._io_threads,
+                depth=knobs.prefetch_depth,
+                io_threads=knobs.io_threads,
                 name_of=lambda item: item[1],
                 io_trace=server.prefetch_trace,
                 wait_trace=trace,
@@ -1665,16 +2007,18 @@ class MPE:
                 "dense": DENSE,
                 "sparse": SPARSE,
                 "hybrid": None,
-            }[cfg.comm_mode]
+            }[knobs.comm_mode]
             payload = encode_update(
                 staged,
                 local_ids,
-                codec_name=cfg.message_codec,
+                codec_name=knobs.message_codec,
                 mode=forced,
                 threshold=cfg.sparsity_threshold,
             )
-            if cfg.message_codec != "raw":
-                server.counters.add_compressed(cfg.message_codec, len(payload))
+            if knobs.message_codec != "raw":
+                server.counters.add_compressed(
+                    knobs.message_codec, len(payload)
+                )
             if trace is not None:
                 trace.end()  # encode
         return _ServerStep(
@@ -1728,7 +2072,10 @@ class MPE:
         inbox: list[tuple[int, bytes]],
     ) -> None:
         """:meth:`_apply_server_step` body (traced-path split)."""
-        cfg = self.config
+        # The superstep's effective knobs: all senders encoded with the
+        # same per-superstep codec (parent-resolved; in process mode the
+        # compute handler pinned this worker's copy for this superstep).
+        codec = self._knobs.message_codec
         store = server.state["store"]
         own_ids, own_vals = own_update
         store.write(own_ids, own_vals)
@@ -1736,10 +2083,8 @@ class MPE:
             payload = decode_update(payload_bytes)
             sender_targets = self._server_target_ids[src]
             store.write(sender_targets[payload.ids], payload.values)
-            if cfg.message_codec != "raw":
-                server.counters.add_decompressed(
-                    cfg.message_codec, len(payload_bytes)
-                )
+            if codec != "raw":
+                server.counters.add_decompressed(codec, len(payload_bytes))
 
     def _collect_values(self, cfg, servers, init_values) -> np.ndarray:
         """Globally consistent value array after a barrier.

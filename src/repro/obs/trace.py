@@ -71,6 +71,9 @@ PREFETCH_TID_BASE = 10_000
 # range.  Submissions arrive from arbitrary client threads, so only
 # single-append event kinds (complete / instant) are recorded on it.
 SERVICE_TID = 20_000
+# The autotuner's decision lane: knob-switch and model-fit instants,
+# recorded by the parent at superstep boundaries.
+TUNING_TID = 30_000
 
 
 def _now() -> float:
@@ -239,6 +242,12 @@ class Tracer:
         callers must stick to :meth:`TraceBuffer.complete` /
         :meth:`TraceBuffer.instant`, which append atomically."""
         return self._buffer(SERVICE_TID, "service")
+
+    def tuning(self) -> TraceBuffer:
+        """The autotuner's decision lane (``knob_switch`` / ``fit``
+        instants at superstep boundaries).  Parent-only, single-writer;
+        created only for tuned runs."""
+        return self._buffer(TUNING_TID, "tuning")
 
     def _buffer(self, tid: int, label: str) -> TraceBuffer:
         buf = self._buffers.get(tid)

@@ -49,7 +49,38 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Iterator
 
-__all__ = ["PrefetchedLoad", "TilePrefetcher", "speculate_load"]
+__all__ = [
+    "PrefetchedLoad",
+    "TilePrefetcher",
+    "recommend_depth",
+    "speculate_load",
+]
+
+
+def recommend_depth(
+    io_s: float,
+    compute_s: float,
+    total_s: float,
+    min_overlap: float = 0.02,
+    max_depth: int = 2,
+) -> tuple[int, int]:
+    """Pick ``(prefetch_depth, io_threads)`` from a phase-time estimate.
+
+    The pipeline can hide at most ``min(io_s, compute_s)`` per superstep
+    — I/O behind compute or vice versa.  When that overlap is worth less
+    than ``min_overlap`` of the superstep, the pipeline's host-side
+    thread overhead is not worth paying and the sweep stays sequential
+    (depth 0).  Otherwise depth ``max_depth`` keeps the next tile in
+    flight, with a second I/O thread only when I/O is the long pole and
+    a single thread would itself become the bottleneck.
+
+    Pure arithmetic on its inputs — callers feeding deterministic
+    (modeled) phase times get a deterministic recommendation.
+    """
+    hidden = min(max(io_s, 0.0), max(compute_s, 0.0))
+    if max_depth <= 0 or hidden <= min_overlap * max(total_s, 1e-12):
+        return 0, 1
+    return max_depth, 2 if io_s > compute_s else 1
 
 
 class PrefetchedLoad:

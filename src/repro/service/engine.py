@@ -569,6 +569,7 @@ class Engine:
             net_bytes=result.total_net_bytes(),
             disk_read_bytes=result.total_disk_read(),
             recovery=recovery,
+            tuning=result.tuning,
         )
 
     def _run_supervised(self, ctx: GraphContext, spec: JobSpec, program):

@@ -154,6 +154,10 @@ class JobSpec:
     io_threads: int | None = None
     selective: bool | None = None
     vertex_store: str | None = None
+    # Online autotuner (repro.tuning).  Run-scoped: the fitted constants
+    # live on the warm engine, so a later tuned job against the same
+    # registration skips the exploration window.
+    tune: bool | None = None
     max_supersteps: int | None = None
     checkpoint_every: int | None = None
     # Fault-injection schedule (list of FaultEvent dicts) + retry budget:
@@ -181,6 +185,7 @@ class JobSpec:
             ("io_threads", "io_threads"),
             ("selective", "selective_scheduling"),
             ("vertex_store", "vertex_store"),
+            ("tune", "tune"),
             ("max_supersteps", "max_supersteps"),
             ("checkpoint_every", "checkpoint_every"),
         ):
@@ -226,6 +231,9 @@ class JobResult:
     disk_read_bytes: int = 0
     # Supervised-recovery summary when the job ran under fault injection.
     recovery: dict | None = None
+    # Autotuner summary (fitted constants, residuals, decision trace)
+    # when the job ran tuned; None otherwise.
+    tuning: dict | None = None
 
     def to_dict(self, include_values: bool = True) -> dict:
         d = {
@@ -243,6 +251,7 @@ class JobResult:
             "net_bytes": self.net_bytes,
             "disk_read_bytes": self.disk_read_bytes,
             "recovery": self.recovery,
+            "tuning": self.tuning,
         }
         if include_values and self.values is not None:
             d["values"] = [float(v) for v in self.values]
@@ -269,6 +278,7 @@ class JobResult:
             net_bytes=int(d.get("net_bytes", 0)),
             disk_read_bytes=int(d.get("disk_read_bytes", 0)),
             recovery=d.get("recovery"),
+            tuning=d.get("tuning"),
         )
 
 

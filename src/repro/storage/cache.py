@@ -72,6 +72,32 @@ def select_cache_mode(total_tile_bytes: int, capacity_bytes: int) -> int:
     return 3  # zlib-1 fallback
 
 
+def cache_plan(
+    total_tile_bytes: int,
+    capacity_bytes: int | None,
+    mode: int | None = None,
+) -> tuple[int, int]:
+    """Resolve one server's effective ``(capacity, mode)`` pair.
+
+    The per-server capacity math that used to live inline in
+    ``MPE.setup``: a ``None`` capacity means "all idle RAM", modeled as
+    exactly the server's own tile volume (every tile fits raw); a
+    ``None`` mode invokes the §IV-B selection rule against the resolved
+    capacity.  Shared by the one-shot setup path and the autotuner's
+    per-superstep re-evaluation (where ``total_tile_bytes`` is the
+    *live* scheduled working set rather than the static tile volume),
+    so both consult one implementation of the paper's rule.
+    """
+    capacity = (
+        max(int(total_tile_bytes), 1)
+        if capacity_bytes is None
+        else int(capacity_bytes)
+    )
+    if mode is None:
+        mode = select_cache_mode(total_tile_bytes, capacity)
+    return capacity, mode
+
+
 @dataclass
 class EdgeCache:
     """Cache of tile blobs, optionally compressed.
@@ -245,6 +271,53 @@ class EdgeCache:
             data = disk.read(key)
         self.put(key, data, prefetched)
         return data
+
+    def switch_mode(self, mode: int) -> int:
+        """Re-encode every resident entry under a new mode's codec.
+
+        The autotuner's mid-run cache-mode switch: entries are
+        decompressed with the old codec and recompressed with the new
+        one, preserving recency order.  Entries that no longer fit
+        (switching to a worse-ratio codec inflates the footprint) are
+        dropped least-recent-first and counted as evictions.  Returns
+        the total *uncompressed* bytes re-encoded so the caller can
+        meter the decompression work (compression is uncharged, matching
+        the insert path); a same-mode call is a free no-op.
+
+        Deterministic: contents are a pure function of the admitted-key
+        sequence and the mode history, so serial, thread, and process
+        executors end up with byte-identical caches after a switch.
+        """
+        if mode == self.mode:
+            return 0
+        if not 1 <= mode <= len(CACHE_MODES):
+            raise ValueError(f"cache mode must be 1..{len(CACHE_MODES)}")
+        old_codec = self.codec
+        items = [
+            (key, old_codec.decompress(blob))
+            for key, blob in self._entries.items()
+        ]
+        self.mode = mode
+        new_codec = self.codec
+        self._entries = OrderedDict()
+        self._used = 0
+        total_raw = 0
+        # Recompress most-recent-first so capacity pressure drops the
+        # least recent entries — the same survivors an LRU would keep.
+        kept = []
+        for key, data in reversed(items):
+            total_raw += len(data)
+            blob = new_codec.compress(data)
+            if self._used + len(blob) > self.capacity_bytes:
+                self.stats.evictions += 1
+                if self.trace is not None:
+                    self.trace.instant("cache-evict", "cache", key=key)
+                continue
+            kept.append((key, blob))
+            self._used += len(blob)
+        for key, blob in reversed(kept):
+            self._entries[key] = blob
+        return total_raw
 
     def content_keys(self) -> list[str]:
         """Entry keys in recency order (least recent first).

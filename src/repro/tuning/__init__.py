@@ -1,0 +1,13 @@
+"""repro.tuning: online autotuner — measure, fit, switch knobs mid-run."""
+
+from repro.tuning.plan import KnobSettings, TuningDecision, TuningPlan
+from repro.tuning.tuner import Tuner, TuningConfig, TuningSample
+
+__all__ = [
+    "KnobSettings",
+    "TuningDecision",
+    "TuningPlan",
+    "Tuner",
+    "TuningConfig",
+    "TuningSample",
+]
