@@ -194,7 +194,7 @@ def main() -> int:
             "num_servers": NUM_SERVERS,
             "jobs": NUM_JOBS,
             "wall_s": round(wall_s, 3),
-            "jobs_per_s": round(NUM_JOBS / wall_s, 3),
+            "jobs_per_s": round(NUM_JOBS / wall_s, 3) if wall_s > 0 else 0.0,
             "last_job_decoded_hits": hits,
             "last_job_decoded_misses": misses,
             "decoded_hit_ratio": round(hits / total, 4) if total else 0.0,
@@ -207,7 +207,7 @@ def main() -> int:
             f"{row['decoded_hit_ratio']:.2%})"
         )
 
-    speedup = (NUM_JOBS / warm_s) / (NUM_JOBS / cold_s)
+    speedup = cold_s / warm_s if warm_s > 0 else 0.0
     report["warm_speedup"] = round(speedup, 3)
     print(f"warm/cold throughput: {speedup:.2f}x")
     write_report(report, args.out)

@@ -2,9 +2,10 @@
 """Regression gate: fresh bench runs vs the committed ``BENCH_*.json``.
 
 Re-runs the JSON-emitting benches (``bench_hotpath.py``, its
-``--sweep`` mode, ``bench_faults.py``, ``bench_prefetch.py``,
-``bench_scale.py``, ``bench_service.py``, ``bench_tuning.py``) at the
-*baseline's own tier* and compares row by row:
+``--sweep`` mode, ``bench_faults.py``, ``bench_incremental.py``,
+``bench_prefetch.py``, ``bench_scale.py``, ``bench_service.py``,
+``bench_tuning.py``) at the *baseline's own tier* and compares row by
+row:
 
 * **Wall-clock rows** (hotpath / procpool): fail when a fresh row's
   ``supersteps_per_s`` is more than ``--threshold`` (default 25%)
@@ -13,7 +14,8 @@ Re-runs the JSON-emitting benches (``bench_hotpath.py``, its
   parallelism — matches the baseline's, so a 1-core container never
   "regresses" against a multi-core recording (or vice versa); mismatched
   rows are reported as skipped, not failed.
-* **Deterministic rows** (faults, scale, tuning): re-executed
+* **Deterministic rows** (faults, incremental, scale, tuning):
+  re-executed
   supersteps, recovery bytes, checkpoint counts/bytes, restarts,
   skipped-tile counts, metered disk bytes, the modeled job seconds,
   and the autotuner's oracle gap / decision counts are executor- and
@@ -55,6 +57,12 @@ BENCHMARKS = {
         ["bench_hotpath.py"],
         ("config", "num_servers"),
         False,
+    ),
+    "incremental": (
+        "BENCH_incremental.json",
+        ["bench_incremental.py"],
+        ("config",),
+        True,
     ),
     "procpool": (
         "BENCH_procpool.json",
@@ -123,6 +131,13 @@ _EXACT_KEYS = (
     "oracle_config",
     "gap_vs_oracle",
     "num_switches",
+    "dirty_vertices",
+    "reset_vertices",
+    "forced_tiles",
+    "inc_supersteps",
+    "scratch_supersteps",
+    "inc_modeled_s",
+    "scratch_modeled_s",
 )
 
 

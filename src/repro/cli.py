@@ -718,6 +718,7 @@ def _submit_spec(args) -> dict:
         "selective",
         "vertex_store",
         "tune",
+        "incremental",
         "max_supersteps",
     ):
         value = getattr(args, knob)
@@ -757,6 +758,73 @@ def cmd_submit(args) -> int:
         )
     )
     return 0 if status == "done" else 1
+
+
+def _parse_edge_op(spec: str, op: str) -> dict:
+    """``SRC:DST`` (or ``SRC:DST:WEIGHT`` for inserts) → a mutation op."""
+    parts = spec.split(":")
+    try:
+        if op == "insert" and len(parts) == 3:
+            return {
+                "op": op,
+                "src": int(parts[0]),
+                "dst": int(parts[1]),
+                "weight": float(parts[2]),
+            }
+        if len(parts) == 2:
+            return {"op": op, "src": int(parts[0]), "dst": int(parts[1])}
+    except ValueError:
+        pass
+    shape = "SRC:DST[:WEIGHT]" if op == "insert" else "SRC:DST"
+    raise SystemExit(f"bad --{op} {spec!r}: expected {shape}")
+
+
+def cmd_mutate(args) -> int:
+    """Apply an edge insert/delete batch to a daemon graph
+    (``repro mutate``)."""
+    from repro.service import SocketServiceClient
+
+    ops: list[dict] = []
+    for spec in args.insert:
+        ops.append(_parse_edge_op(spec, "insert"))
+    for spec in args.delete:
+        ops.append(_parse_edge_op(spec, "delete"))
+    if args.random:
+        if not args.edges:
+            print("--random needs --edges FILE to sample from", file=sys.stderr)
+            return 1
+        from repro.delta import random_mutations
+
+        graph = _load(args.edges)
+        num_deletes = args.random // 2
+        ops.extend(
+            random_mutations(
+                graph,
+                num_inserts=args.random - num_deletes,
+                num_deletes=num_deletes,
+                seed=args.seed,
+            )
+        )
+    if not ops:
+        print("nothing to apply (use --insert/--delete/--random)",
+              file=sys.stderr)
+        return 1
+    client = SocketServiceClient(host=args.host, port=args.port)
+    response = client.request(
+        {"op": "mutate", "graph": args.graph, "ops": ops}
+    )
+    if not response.get("ok"):
+        print(f"mutate failed: {response.get('error')}", file=sys.stderr)
+        return 1
+    rep = response["mutate"]
+    merged = rep.get("merged") or []
+    print(
+        f"applied {rep['applied']} mutations to {args.graph!r} "
+        f"(+{rep['inserts']} / -{rep['deletes']}): "
+        f"{rep['affected_tiles']} tiles overlaid, {len(merged)} merged, "
+        f"{rep['overlay_bytes']} overlay bytes, watermark {rep['watermark']}"
+    )
+    return 0
 
 
 def cmd_jobs(args) -> int:
@@ -1030,11 +1098,38 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="online autotuner (fitted constants persist on "
                    "the warm engine across jobs)")
+    u.add_argument("--incremental", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="restart from the graph's previous fixed point, "
+                   "repairing only mutation-disturbed vertices "
+                   "(needs a prior completed run of the same algorithm)")
     u.add_argument("--max-supersteps", type=int, default=None)
     u.add_argument("--wait", action="store_true",
                    help="block until the job finishes; exit 1 unless done")
     u.add_argument("--timeout", type=float, default=300.0)
     u.set_defaults(func=cmd_submit)
+
+    m = sub.add_parser(
+        "mutate",
+        help="apply an edge insert/delete batch to a daemon graph "
+        "(repro.delta overlays; queries keep running)",
+    )
+    m.add_argument("--host", default="127.0.0.1")
+    m.add_argument("--port", type=int, default=7077)
+    m.add_argument("--graph", required=True, help="registered graph name")
+    m.add_argument("--insert", action="append", default=[],
+                   metavar="SRC:DST[:W]",
+                   help="insert one edge (repeatable)")
+    m.add_argument("--delete", action="append", default=[], metavar="SRC:DST",
+                   help="delete one edge (repeatable)")
+    m.add_argument("--random", type=int, default=0, metavar="N",
+                   help="add N random mutations (half inserts, half deletes "
+                   "sampled from --edges)")
+    m.add_argument("--edges", default=None, metavar="FILE",
+                   help="edge-list file --random samples deletions from "
+                   "(the graph as originally registered)")
+    m.add_argument("--seed", type=int, default=7)
+    m.set_defaults(func=cmd_mutate)
 
     j = sub.add_parser("jobs", help="job table from a running daemon")
     j.add_argument("--host", default="127.0.0.1")

@@ -47,6 +47,16 @@ class Counters:
     decompressed: dict[str, int] = field(default_factory=dict)
     compressed: dict[str, int] = field(default_factory=dict)
 
+    # --- delta overlays (repro.delta) -------------------------------------
+    # Overlay bytes decoded on top of base tiles at load time: each
+    # scheduled tile with a pending overlay charges the overlay blob
+    # size (priced at random-read bandwidth — overlays are small
+    # seek-bound reads next to the streamed base tile).
+    delta_bytes: int = 0
+    # Overlay edge edits applied while composing (insert + delete rows);
+    # priced per edit by the spec's delta_edge_apply_s.
+    delta_edges: int = 0
+
     # --- fault injection & recovery (repro.faults) ------------------------
     # Injected faults that hit this server.
     faults_injected: int = 0
@@ -122,6 +132,8 @@ class Counters:
         self.messages_sent += other.messages_sent
         self.messages_processed += other.messages_processed
         self.tiles_skipped += other.tiles_skipped
+        self.delta_bytes += other.delta_bytes
+        self.delta_edges += other.delta_edges
         self.faults_injected += other.faults_injected
         self.fault_retries += other.fault_retries
         self.fault_delay_s += other.fault_delay_s
@@ -152,6 +164,8 @@ class Counters:
         self.messages_sent += other.messages_sent
         self.messages_processed += other.messages_processed
         self.tiles_skipped += other.tiles_skipped
+        self.delta_bytes += other.delta_bytes
+        self.delta_edges += other.delta_edges
         self.faults_injected += other.faults_injected
         self.fault_retries += other.fault_retries
         self.fault_delay_s += other.fault_delay_s
@@ -179,6 +193,8 @@ class Counters:
             "messages_sent": self.messages_sent,
             "messages_processed": self.messages_processed,
             "tiles_skipped": self.tiles_skipped,
+            "delta_bytes": self.delta_bytes,
+            "delta_edges": self.delta_edges,
             "faults_injected": self.faults_injected,
             "fault_retries": self.fault_retries,
             "fault_delay_s": self.fault_delay_s,
@@ -222,6 +238,10 @@ class CounterSnapshot:
     # cache's share vs the message path's share when both use the same
     # codec.
     cache_bytes_decompressed: int = 0
+    # Delta-overlay volumes (0 on non-evolving graphs; defaulted so
+    # snapshots pickled by older worker code still unpickle).
+    delta_bytes: int = 0
+    delta_edges: int = 0
 
     @classmethod
     def capture(cls, server) -> "CounterSnapshot":
@@ -239,6 +259,8 @@ class CounterSnapshot:
             messages_processed=c.messages_processed,
             tiles_skipped=c.tiles_skipped,
             fault_delay_s=c.fault_delay_s,
+            delta_bytes=c.delta_bytes,
+            delta_edges=c.delta_edges,
             decompressed=dict(c.decompressed),
             compressed=dict(c.compressed),
             cache_hits=cache.stats.hits if cache is not None else 0,
@@ -263,6 +285,8 @@ class CounterSnapshot:
         d.messages_processed = c.messages_processed - self.messages_processed
         d.tiles_skipped = c.tiles_skipped - self.tiles_skipped
         d.fault_delay_s = c.fault_delay_s - self.fault_delay_s
+        d.delta_bytes = c.delta_bytes - self.delta_bytes
+        d.delta_edges = c.delta_edges - self.delta_edges
         for codec, n in c.decompressed.items():
             prev = self.decompressed.get(codec, 0)
             if n > prev:

@@ -43,6 +43,11 @@ class ClusterSpec:
     # treats this as negligible but nonzero; a few µs keeps selective
     # scheduling honest without dominating anything.
     tile_probe_s: float = 5e-6
+    # Per-edit cost of composing a delta overlay over its base tile at
+    # load time (repro.delta): one insert/delete row applied to the
+    # decoded CSR.  Tens of ns/edge — array surgery at memory bandwidth,
+    # same order as the gather's per-edge cost.
+    delta_edge_apply_s: float = 2e-8
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
@@ -58,6 +63,7 @@ class ClusterSpec:
             "compute_edges_per_sec_per_worker",
             "messages_per_sec_per_worker",
             "tile_probe_s",
+            "delta_edge_apply_s",
         ):
             if getattr(self, field_name) <= 0:
                 raise ValueError(f"{field_name} must be positive")

@@ -178,6 +178,16 @@ class GraphH:
         the first supersteps, then switch codec / comm / bloom / cache /
         prefetch knobs at superstep boundaries.  Overlays
         ``config.tune`` when given.
+    mutations:
+        Evolving-graph support (:mod:`repro.delta`): attach a mutation
+        log + delta-overlay store to the engine so :meth:`mutate` can
+        apply edge inserts/deletes without re-running the SPE.  Overlays
+        ``config.mutations`` when given.
+    incremental:
+        Restart vertex programs from the previous fixed point, repairing
+        only vertices the latest mutation batch disturbed (requires
+        ``mutations=True``).  Overlays ``config.incremental`` when
+        given.
     trace:
         ``True`` enables the observability subsystem (:mod:`repro.obs`):
         every run records spans/instants into :attr:`tracer` and bridges
@@ -210,6 +220,8 @@ class GraphH:
         selective: bool | None = None,
         vertex_store: str | None = None,
         tune: bool | None = None,
+        mutations: bool | None = None,
+        incremental: bool | None = None,
         trace=False,
         trace_out: str | None = None,
         build: ClusterBuild | None = None,
@@ -236,6 +248,10 @@ class GraphH:
             overrides["vertex_store"] = vertex_store
         if tune is not None:
             overrides["tune"] = tune
+        if mutations is not None:
+            overrides["mutations"] = mutations
+        if incremental is not None:
+            overrides["incremental"] = incremental
         if overrides:
             self.config = dataclasses.replace(self.config, **overrides)
         self.tracer = None
@@ -305,6 +321,24 @@ class GraphH:
         result = self.mpe.run(program, resume=resume)
         self._finish_trace(program)
         return result
+
+    def mutate(self, ops) -> dict:
+        """Apply a batch of edge mutations to the loaded graph.
+
+        ``ops`` is a list of ``{"op": "insert"|"delete", "src", "dst"
+        [, "weight"]}`` dicts (see :func:`repro.delta.random_mutations`
+        and :meth:`repro.delta.MutationLog.add`).  Requires
+        ``mutations=True``.  Mutations land in per-tile delta overlays
+        composed over the immutable base tiles at load time; subsequent
+        :meth:`run` calls see the mutated graph, and with
+        ``incremental=True`` restart from the previous fixed point.
+
+        Note: :meth:`wcc` symmetrises into a separate ``-sym`` dataset
+        whose engine does not see these mutations — for evolving
+        undirected graphs, load a symmetrised graph and feed
+        ``mirrored()`` batches instead.
+        """
+        return self.mpe.apply_mutations(ops)
 
     def _finish_trace(self, program: VertexProgram) -> None:
         """Post-run observability: bridge counters, export Chrome JSON."""

@@ -46,6 +46,9 @@ from repro.core.vertexstore import (
     SharedOnDemandStore,
     SharedVertexStore,
 )
+from repro.delta.deltatiles import DeltaStore
+from repro.delta.incremental import build_plan
+from repro.delta.mutlog import MutationLog
 from repro.metrics.cost import CostModel, CostSample, SuperstepCost
 from repro.metrics.schedule import effective_parallel_volume
 from repro.partition.tiles import (
@@ -129,6 +132,20 @@ class MPEConfig:
     # works unchanged, as do checkpoint/restore.  Results and metering
     # are bitwise identical in both modes.
     vertex_store: str = "mem"
+    # --- evolving graphs (repro.delta) --------------------------------
+    # Accept mutation batches (:meth:`MPE.apply_mutations`) and overlay
+    # the pending edits on the immutable base tiles at load time.  None
+    # (the default) keeps the engine frozen-graph and is a bitwise
+    # no-op: no delta store exists, the tile parser is the plain
+    # ``Tile.from_bytes``, and no delta counters ever move.
+    mutations: bool | None = None
+    # Restart a program from its previous fixed point with a dirty set
+    # derived from the pending mutation batch, instead of from scratch.
+    # Requires mutations=True and a prior completed run of the same
+    # program on this engine (ValueError otherwise).  SSSP/WCC repair
+    # is bitwise-equal to from-scratch on the mutated graph; PageRank
+    # agrees to its convergence tolerance (DESIGN.md §5i).
+    incremental: bool = False
     # Online autotuner (repro.tuning): record per-phase volumes over the
     # first supersteps, fit the cost-model constants, then re-evaluate
     # codec / comm / bloom / cache / prefetch at every superstep
@@ -166,6 +183,8 @@ class MPEConfig:
             raise ValueError("io_threads must be >= 1")
         if self.vertex_store not in ("mem", "mmap"):
             raise ValueError('vertex_store must be "mem" or "mmap"')
+        if self.incremental and not self.mutations:
+            raise ValueError("incremental=True requires mutations=True")
 
 
 @dataclass
@@ -206,6 +225,10 @@ class RunResult:
     # Autotuner summary (fitted constants, residuals, decision trace)
     # when the run was tuned or consumed a scripted plan; None otherwise.
     tuning: dict | None = None
+    # Evolving-graph summary (repro.delta): the delta store's state plus
+    # — on incremental runs — the plan stats (dirty/reset/forced sizes).
+    # None when the mutation subsystem is off.
+    delta: dict | None = None
 
     @property
     def num_supersteps(self) -> int:
@@ -247,6 +270,7 @@ class RunResult:
                     "sync": s.modeled.sync_s,
                     "fault": s.modeled.fault_s,
                     "probe": s.modeled.probe_s,
+                    "delta": s.modeled.delta_s,
                     "total": s.modeled.total_s,
                     "overlap": s.modeled.overlap_s,
                 }
@@ -265,6 +289,8 @@ class RunResult:
         }
         if self.tuning is not None:
             out["tuning"] = self.tuning
+        if self.delta is not None:
+            out["delta"] = self.delta
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(out, fh, indent=1)
 
@@ -277,9 +303,10 @@ class RunResult:
     def avg_superstep_modeled_s(self, skip_first: bool = True) -> float:
         """The paper's metric: mean modeled time, first superstep excluded."""
         steps = self.supersteps[1:] if skip_first and len(self.supersteps) > 1 else self.supersteps
-        if not steps:
+        vals = [s.modeled.total_s for s in steps if s.modeled]
+        if not vals:  # zero supersteps, or none carried modeled costs
             return 0.0
-        return float(np.mean([s.modeled.total_s for s in steps if s.modeled]))
+        return float(np.mean(vals))
 
     def avg_superstep_overlap_s(self, skip_first: bool = True) -> float:
         """Overlap-aware sibling of :meth:`avg_superstep_modeled_s`:
@@ -343,6 +370,30 @@ class MPE:
         # scheduling is on, lazily backfilled if the env override turns
         # it on after setup already ran.
         self._summaries: dict[int, TileSourceSummary] = {}
+        # --- evolving-graph state (repro.delta) ------------------------
+        # The delta store (pending per-tile overlays + degree deltas)
+        # and the engine-owned mutation log — both created at setup when
+        # config.mutations is on, None otherwise.  ``_tile_parser`` is
+        # the decode callback every metered tile load funnels through:
+        # the plain Tile.from_bytes on frozen graphs, swapped for a
+        # compose-overlay-on-parse closure when the mutation subsystem
+        # is on (same object everywhere in one engine, so prefetch
+        # speculation identity checks keep holding; forked workers
+        # inherit the closure and the live overlay dict by address).
+        self._delta: DeltaStore | None = None
+        self.mutation_log: MutationLog | None = None
+        # program name -> (converged values, delta-store watermark at
+        # run end): what an incremental run restarts from.
+        self._fixed_points: dict[str, tuple[np.ndarray, int]] = {}
+        self._tile_parser = self._TILE_PARSER
+        # Tiles force-scheduled (exempt from bitmap + bloom pruning) at
+        # exactly one superstep of the current run — the incremental
+        # seed superstep, where deletion/reset targets must re-gather
+        # even though no "updated" vertex sources them.  Frozen before
+        # the process pool forks, so every executor and the fault
+        # replay see identical schedules.
+        self._forced_tiles: frozenset = frozenset()
+        self._forced_superstep: int = -1
         self.spe = SPE(cluster.dfs)
         self._tiles_fetched = False
         # Per-server: list of (tile_id, blob_name, nbytes); bloom filters.
@@ -452,6 +503,16 @@ class MPE:
     # ------------------------------------------------------------------
     def setup(self) -> None:
         """Stage-two assignment + local fetch (idempotent)."""
+        if self.config.mutations and self._delta is None:
+            # Evolving-graph plumbing exists from the first setup on:
+            # the overlay store starts empty (composition is a no-op
+            # until a batch lands) and the engine owns the append-only
+            # mutation log batches are appended to.
+            self._delta = DeltaStore(self.manifest)
+            self.mutation_log = MutationLog(
+                num_vertices=self.manifest.num_vertices
+            )
+            self._tile_parser = self._make_delta_parser()
         if self._tiles_fetched:
             return
         n = self.cluster.num_servers
@@ -492,7 +553,7 @@ class MPE:
                 or self._selective
                 or self.config.replication_policy == "od"
             ):
-                tile = Tile.from_bytes(blob)
+                tile = self._tile_parser(blob)
                 if self.config.use_bloom_filters or self._tune:
                     self._blooms[tile_id] = tile.build_bloom_filter(
                         self.config.bloom_false_positive_rate
@@ -607,13 +668,79 @@ class MPE:
         cfg = self.config
         num_vertices = self.manifest.num_vertices
         in_degrees, out_degrees = self.spe.load_degrees(self.manifest)
+        num_edges_now = self.manifest.num_edges
+        if self._delta is not None:
+            # Applied mutations shift degrees and |E|; every program
+            # must see the mutated graph's metadata (PageRank divides
+            # contributions by out-degree), for scratch runs over
+            # overlaid tiles exactly as for incremental ones.
+            in_degrees = (in_degrees + self._delta.in_deg_delta).astype(
+                in_degrees.dtype
+            )
+            out_degrees = (out_degrees + self._delta.out_deg_delta).astype(
+                out_degrees.dtype
+            )
+            num_edges_now += self._delta.edge_delta
 
         init_graph = graph_for_init or _ManifestGraphView(
-            num_vertices, self.manifest.num_edges, in_degrees, out_degrees
+            num_vertices, num_edges_now, in_degrees, out_degrees
         )
         init_values = program.init_values(init_graph).astype(np.float64, copy=True)
         if init_values.size != num_vertices:
             raise ValueError("program init_values size mismatch with manifest")
+
+        # --- incremental restart (repro.delta) ------------------------
+        # Derived deterministically from (previous fixed point, pending
+        # mutations): a supervised fault retry recomputes the identical
+        # plan because the fixed-point memory only advances at
+        # successful run end.
+        incremental_plan = None
+        if cfg.incremental:
+            if self._delta is None:  # config validation makes this dead
+                raise ValueError("incremental=True requires mutations=True")
+            fixed = self._fixed_points.get(program.name)
+            if fixed is None:
+                raise ValueError(
+                    f"incremental run of {program.name!r} needs a previous "
+                    "completed run of the same program on this engine"
+                )
+            prev_fp, fp_watermark = fixed
+            composed_memo: dict[int, Tile] = {}
+
+            def _load_composed(tile_id: int) -> Tile:
+                if tile_id not in composed_memo:
+                    composed_memo[tile_id] = self._composed_tile(tile_id)
+                return composed_memo[tile_id]
+
+            incremental_plan = build_plan(
+                program,
+                prev_fp,
+                self._delta.since(fp_watermark),
+                init_values=init_values,
+                num_vertices=num_vertices,
+                num_tiles=self.manifest.num_tiles,
+                tile_of=self._delta.tile_of,
+                load_tile=_load_composed,
+            )
+            del composed_memo
+            init_values = incremental_plan.start_values.astype(
+                np.float64, copy=True
+            )
+            if self.tracer is not None:
+                stats = incremental_plan.stats
+                self.tracer.delta().instant(
+                    "incremental_plan",
+                    "delta",
+                    program=program.name,
+                    num_mutations=stats["num_mutations"],
+                    dirty_vertices=stats["dirty_vertices"],
+                    reset_vertices=stats["reset_vertices"],
+                    forced_tiles=stats["forced_tiles"],
+                )
+                self.tracer.metrics.gauge(
+                    "repro_delta_dirty_vertices",
+                    "dirty vertices seeding the incremental frontier",
+                ).labels().set(stats["dirty_vertices"])
 
         start_superstep = 0
         resumed_updated: np.ndarray | None = None
@@ -636,6 +763,16 @@ class MPE:
                 )
                 for server in self.cluster.servers:
                     server.counters.recovery_read += ckpt_bytes
+
+        # Forced tiles fire at the incremental seed superstep only; a
+        # checkpointed resume (start_superstep > 0) is past the seed, so
+        # nothing is forced.  Set before any executor forks.
+        if incremental_plan is not None and start_superstep == 0:
+            self._forced_tiles = incremental_plan.forced_tiles
+            self._forced_superstep = 0
+        else:
+            self._forced_tiles = frozenset()
+            self._forced_superstep = -1
 
         servers = self.cluster.servers
         degrees = out_degrees if program.uses_out_degree else None
@@ -714,8 +851,16 @@ class MPE:
 
             # Vertices "updated" in the previous superstep — drives bloom
             # skipping.  Superstep 0 processes everything (initial load); a
-            # resumed run continues with the checkpointed update set.
+            # resumed run continues with the checkpointed update set; an
+            # incremental run seeds the mutation batch's dirty set so the
+            # seed superstep prunes down to dirty-sourced + forced tiles.
             prev_updated: np.ndarray | None = resumed_updated
+            if (
+                prev_updated is None
+                and incremental_plan is not None
+                and start_superstep == 0
+            ):
+                prev_updated = incremental_plan.dirty_ids
             reports: list[SuperstepReport] = []
             cost_model = CostModel(self.cluster.spec)
             converged = False
@@ -987,6 +1132,15 @@ class MPE:
             # Collect results while run-scoped shared stores are still
             # mapped; the finally unlinks their segments.
             values = self._collect_values(cfg, servers, init_values)
+            # Remember the fixed point incremental restarts repair from.
+            # Converged runs only: a max_supersteps cutoff is not a
+            # fixed point and repairing from it would freeze un-settled
+            # vertices behind the selective prune.
+            if self._delta is not None and converged:
+                self._fixed_points[program.name] = (
+                    values.copy(),
+                    self._delta.watermark,
+                )
         finally:
             if executor is not None:
                 executor.close()
@@ -1023,6 +1177,19 @@ class MPE:
                 if tuner is not None
                 else {"plan": plan.to_dict()} if plan is not None else None
             ),
+            delta=(
+                {
+                    "incremental": incremental_plan is not None,
+                    **(
+                        incremental_plan.stats
+                        if incremental_plan is not None
+                        else {}
+                    ),
+                    **self._delta.summary(),
+                }
+                if self._delta is not None
+                else None
+            ),
         )
 
     def respawn_server(self, server_id: int) -> int:
@@ -1057,6 +1224,219 @@ class MPE:
                 max_entries=server.decoded_cache.max_entries
             )
         return refetched
+
+    # ------------------------------------------------------------------
+    # Evolving graphs (repro.delta)
+    # ------------------------------------------------------------------
+    def _make_delta_parser(self):
+        """The overlay-composing tile parser.
+
+        Keyed by the *parsed* tile's id — no blob-name plumbing — so
+        every decode site (sweep, prefetch speculation, cache resync,
+        summary/bloom backfill) composes identically.  The closure
+        holds the live DeltaStore: forked workers inherit the overlay
+        dict by address, and tiles without a pending overlay parse at
+        exactly the base cost.
+        """
+        delta = self._delta
+        base_parser = Tile.from_bytes
+
+        def parse(data: bytes) -> Tile:
+            tile = base_parser(data)
+            overlay = delta.overlays.get(tile.tile_id)
+            if overlay is None or overlay.is_empty:
+                return tile
+            return overlay.compose(tile)
+
+        return parse
+
+    def _tile_location(self, tile_id: int):
+        """(server, index-in-assignment, blob_name) for a tile."""
+        for server in self.cluster.servers:
+            for idx, (tid, name, _nbytes) in enumerate(
+                self._assignments[server.server_id]
+            ):
+                if tid == tile_id:
+                    return server, idx, name
+        raise KeyError(f"tile {tile_id} not assigned")
+
+    def _base_tile(self, tile_id: int) -> Tile:
+        """Decode a tile's current *base* blob (no overlay), unmetered."""
+        server, _idx, name = self._tile_location(tile_id)
+        return Tile.from_bytes(server.disk.peek(name))
+
+    def _composed_tile(self, tile_id: int) -> Tile:
+        """Decode a tile with its pending overlay applied, unmetered
+        (host-side planning, like skip-set computation)."""
+        server, _idx, name = self._tile_location(tile_id)
+        return self._tile_parser(server.disk.peek(name))
+
+    def apply_mutations(self, ops=None, *, log: MutationLog | None = None) -> dict:
+        """Append a mutation batch and compact it into per-tile overlays.
+
+        ``ops`` is an iterable of mutation dicts (``{"op", "src",
+        "dst", "weight"?}``) appended to the engine's own log;
+        alternatively ``log=`` adopts a complete external
+        :class:`~repro.delta.mutlog.MutationLog` (the service's restart
+        replay path).  Compaction is atomic — a batch that fails
+        validation (e.g. deleting a non-existent edge) raises and
+        leaves every overlay, degree delta, and the watermark
+        untouched — and idempotent: rows at or below the store's
+        watermark are skipped, so replaying a persisted log after
+        restart re-applies only what is missing.
+
+        Tiles whose pending overlay grows past ``merge_ratio`` × base
+        edges are *merged*: the composed tile is rewritten as a new
+        versioned blob (locally and in DFS, so crash respawns refetch
+        the merged bytes) and the overlay is emptied.
+
+        Must be called between runs (the overlay dict is frozen during
+        a run: forked workers share it by address).  Returns a report
+        dict with applied counts, overlay state, merges, and modeled
+        compact/merge seconds.
+        """
+        if not self.config.mutations:
+            raise ValueError(
+                "mutations are disabled; construct the engine with "
+                "MPEConfig(mutations=True)"
+            )
+        self.setup()
+        if log is not None:
+            if ops:
+                raise ValueError("pass ops= or log=, not both")
+            if log.last_id < self._delta.watermark:
+                raise ValueError(
+                    f"adopted log ends at id {log.last_id} but "
+                    f"{self._delta.watermark} mutations are already applied"
+                )
+            self.mutation_log = log
+        elif ops:
+            self.mutation_log.extend(ops)
+        pending = self.mutation_log.since(self._delta.watermark)
+        num_inserts = sum(1 for m in pending if m.op == "insert")
+        num_deletes = len(pending) - num_inserts
+
+        result = self._delta.compact(pending, self._base_tile)
+
+        if pending:
+            # Every checkpoint written so far snapshots the *pre-batch*
+            # graph; resuming any program from one after this point
+            # would converge against stale values (observably wrong for
+            # min-programs).  Mutations invalidate them all.
+            for path in list(
+                self.cluster.dfs.list_files(f"{self.manifest.name}/ckpt-")
+            ):
+                self.cluster.dfs.delete(path)
+
+        spec = self.cluster.spec
+        compact_bytes = 0
+        for tile_id in result.affected:
+            server, _idx, name = self._tile_location(tile_id)
+            composed = result.composed[tile_id]
+            # Refresh parent-side schedule state from the composed tile
+            # so the next run's pruning sees the mutated source sets
+            # (an inserted edge's source must be probe-visible).
+            if tile_id in self._summaries or self._selective:
+                self._summaries[tile_id] = TileSourceSummary.from_tile(
+                    composed
+                )
+            if tile_id in self._blooms:
+                self._blooms[tile_id] = composed.build_bloom_filter(
+                    self.config.bloom_false_positive_rate
+                )
+            if server.decoded_cache is not None:
+                server.decoded_cache.invalidate(name)
+            overlay = self._delta.overlays.get(tile_id)
+            if overlay is not None and not overlay.is_empty:
+                # Persisting the delta blob next to its base tile is
+                # the batch's durable write.
+                nb = overlay.nbytes()
+                server.counters.disk_write += nb
+                compact_bytes += nb
+
+        merged_bytes = 0
+        merges: list[dict] = []
+        for tile_id in result.merged:
+            server, idx, old_name = self._tile_location(tile_id)
+            composed = result.composed[tile_id]
+            generation = self._delta.finish_merge(tile_id)
+            blob = composed.to_bytes()
+            new_name = f"tile-{tile_id}-v{generation}"
+            # DFS is the system of record: a crash respawn refetches
+            # manifest.tile_path(tile_id), which must now hold the
+            # merged bytes.  The local blob gets a *versioned* name so
+            # stale cached/arena entries under the old name can never
+            # serve the pre-merge tile.
+            self.cluster.dfs.write(self.manifest.tile_path(tile_id), blob)
+            server.store_blob(new_name, blob)
+            if server.decoded_cache is not None:
+                server.decoded_cache.invalidate(old_name)
+            self._assignments[server.server_id][idx] = (
+                tile_id,
+                new_name,
+                len(blob),
+            )
+            merged_bytes += len(blob)
+            merges.append(
+                {
+                    "tile": tile_id,
+                    "generation": generation,
+                    "nbytes": len(blob),
+                }
+            )
+        if result.merged:
+            self._tile_nbytes_total = sum(
+                nbytes
+                for per_server in self._assignments
+                for _tid, _name, nbytes in per_server
+            )
+
+        modeled_compact_s = (
+            compact_bytes / spec.disk_write_bps
+            + result.overlay_edges * spec.delta_edge_apply_s
+        )
+        modeled_merge_s = merged_bytes / spec.disk_write_bps
+        report = {
+            "applied": len(pending),
+            "inserts": num_inserts,
+            "deletes": num_deletes,
+            "affected_tiles": len(result.affected),
+            "merged": merges,
+            "overlay_bytes": self._delta.total_overlay_bytes(),
+            "overlay_edges": self._delta.total_overlay_edges,
+            "watermark": self._delta.watermark,
+            "modeled_compact_s": modeled_compact_s,
+            "modeled_merge_s": modeled_merge_s,
+        }
+        if self.tracer is not None and result.affected:
+            dbuf = self.tracer.delta()
+            dbuf.instant(
+                "mutate",
+                "delta",
+                applied=len(pending),
+                inserts=num_inserts,
+                deletes=num_deletes,
+            )
+            dbuf.instant(
+                "compact",
+                "delta",
+                tiles=len(result.affected),
+                overlay_bytes=result.overlay_bytes,
+                overlay_edges=result.overlay_edges,
+            )
+            for m in merges:
+                dbuf.instant(
+                    "merge",
+                    "delta",
+                    tile=m["tile"],
+                    generation=m["generation"],
+                    nbytes=m["nbytes"],
+                )
+            self.tracer.metrics.gauge(
+                "repro_delta_overlay_bytes",
+                "pending overlay bytes across all tiles",
+            ).labels().set(report["overlay_bytes"])
+        return report
 
     # ------------------------------------------------------------------
     # Process runtime (repro.runtime.process + repro.runtime.shm)
@@ -1243,7 +1623,7 @@ class MPE:
         for server in self.cluster.servers:
             for tile_id, name, _nbytes in self._assignments[server.server_id]:
                 if tile_id not in self._blooms:
-                    tile = Tile.from_bytes(server.disk.peek(name))
+                    tile = self._tile_parser(server.disk.peek(name))
                     self._blooms[tile_id] = tile.build_bloom_filter(
                         self.config.bloom_false_positive_rate
                     )
@@ -1258,23 +1638,29 @@ class MPE:
         so it is identical across executors."""
         knobs = self._knobs
         prev_hashed = None
-        if knobs.use_bloom and prev_updated is not None and superstep > 0:
+        if knobs.use_bloom and prev_updated is not None:
             prev_hashed = (
                 ALL_KEYS
                 if prev_updated.size == num_vertices
                 else hash_keys(prev_updated)
             )
+        forced = (
+            self._forced_tiles
+            if superstep == self._forced_superstep
+            else frozenset()
+        )
         out = []
         for server_id, tiles in enumerate(self._assignments):
             skips = skip_sets[server_id] if skip_sets is not None else None
             total = 0
             for tile_id, _name, nbytes in tiles:
-                if skips is not None and tile_id in skips:
-                    continue
-                if prev_hashed is not None and not self._blooms[
-                    tile_id
-                ].might_intersect(prev_hashed):
-                    continue
+                if tile_id not in forced:
+                    if skips is not None and tile_id in skips:
+                        continue
+                    if prev_hashed is not None and not self._blooms[
+                        tile_id
+                    ].might_intersect(prev_hashed):
+                        continue
                 total += nbytes
             out.append(total)
         return out
@@ -1367,7 +1753,7 @@ class MPE:
         for server in self.cluster.servers:
             for tile_id, name, _nbytes in self._assignments[server.server_id]:
                 if tile_id not in self._summaries:
-                    tile = Tile.from_bytes(server.disk.peek(name))
+                    tile = self._tile_parser(server.disk.peek(name))
                     self._summaries[tile_id] = TileSourceSummary.from_tile(tile)
 
     def _compute_skip_sets(
@@ -1375,28 +1761,39 @@ class MPE:
     ) -> "list[frozenset[int]] | None":
         """Per-server sets of tile ids the active bitmap proves dead
         this superstep, or ``None`` when the prune cannot fire
-        (selective off, superstep 0 / resume-with-no-set, or a dense
-        frontier where nothing can be skipped).
+        (selective off, no previous update set — scratch superstep 0,
+        resume-with-no-set — or a dense frontier where nothing can be
+        skipped).  An incremental run *does* carry an update set at
+        superstep 0 (the mutation batch's dirty ids seeded via
+        :class:`~repro.runtime.active.ActiveBitmap`), which is exactly
+        what makes its seed superstep prune; its forced tiles are
+        exempt from the verdict.
 
         Resolved once, parent-side: every executor's sweep (and the
         fault replay in :meth:`_resolve_compute_faults`) consumes the
         same frozen decisions, which is what keeps skip schedules —
         and hence fault coordinates — executor-independent.
         """
-        if not self._selective or superstep == 0 or prev_updated is None:
+        if not self._selective or prev_updated is None:
             return None
-        bitmap = ActiveBitmap(prev_updated, num_vertices)
+        bitmap = ActiveBitmap.seed_from_ids(prev_updated, num_vertices)
         if bitmap.dense:
             # Every vertex updated: no tile has an all-inactive source
             # set (mirrors the bloom ALL_KEYS fast path — empty tiles
             # are left to the bloom probe, same as with selective off).
             return None
+        forced = (
+            self._forced_tiles
+            if superstep == self._forced_superstep
+            else frozenset()
+        )
         skip_sets = []
         for server_id in range(len(self._assignments)):
             skips = frozenset(
                 tile_id
                 for tile_id, _name, _nbytes in self._assignments[server_id]
-                if not self._summaries[tile_id].intersects(bitmap)
+                if tile_id not in forced
+                and not self._summaries[tile_id].intersects(bitmap)
             )
             skip_sets.append(skips)
         return skip_sets
@@ -1728,15 +2125,19 @@ class MPE:
         (bitmap then bloom skips applied, in sweep order) — the
         parent-side stand-in for the worker's first ``on_tile_load``
         coordinate."""
+        forced = (
+            self._forced_tiles
+            if superstep == self._forced_superstep
+            else frozenset()
+        )
         for tile_id, blob_name, _nbytes in self._assignments[server_id]:
-            if skips is not None and tile_id in skips:
-                continue
-            if (
-                superstep > 0
-                and prev_hashed is not None
-                and not self._blooms[tile_id].might_intersect(prev_hashed)
-            ):
-                continue
+            if tile_id not in forced:
+                if skips is not None and tile_id in skips:
+                    continue
+                if prev_hashed is not None and not self._blooms[
+                    tile_id
+                ].might_intersect(prev_hashed):
+                    continue
             return blob_name
         return None
 
@@ -1806,7 +2207,7 @@ class MPE:
                 items = []
                 for name in decoded_keys:
                     data = server.disk.peek(name)
-                    items.append((name, Tile.from_bytes(data), len(data)))
+                    items.append((name, self._tile_parser(data), len(data)))
                 server.decoded_cache.rebuild_content(items)
         self._worker_content = {}
         self._run_program = None
@@ -1880,27 +2281,37 @@ class MPE:
         # against the bloom filter (no double accounting) — the bloom
         # check only sees bitmap survivors.
         schedule: list[tuple[int, str, int]] = []
+        forced = (
+            self._forced_tiles
+            if superstep == self._forced_superstep
+            else frozenset()
+        )
         for tile_id, blob_name, nbytes in self._assignments[server.server_id]:
-            if skips is not None and tile_id in skips:
-                tiles_skipped += 1
-                server.counters.tiles_skipped += 1
-                if trace is not None:
-                    trace.instant(
-                        "tile_skip", "schedule", tile=tile_id, reason="bitmap"
-                    )
-                continue
-            if (
-                superstep > 0
-                and prev_hashed is not None
-                and not self._blooms[tile_id].might_intersect(prev_hashed)
-            ):
-                tiles_skipped += 1
-                server.counters.tiles_skipped += 1
-                if trace is not None:
-                    trace.instant(
-                        "tile_skip", "schedule", tile=tile_id, reason="bloom"
-                    )
-                continue
+            if tile_id not in forced:
+                if skips is not None and tile_id in skips:
+                    tiles_skipped += 1
+                    server.counters.tiles_skipped += 1
+                    if trace is not None:
+                        trace.instant(
+                            "tile_skip",
+                            "schedule",
+                            tile=tile_id,
+                            reason="bitmap",
+                        )
+                    continue
+                if prev_hashed is not None and not self._blooms[
+                    tile_id
+                ].might_intersect(prev_hashed):
+                    tiles_skipped += 1
+                    server.counters.tiles_skipped += 1
+                    if trace is not None:
+                        trace.instant(
+                            "tile_skip",
+                            "schedule",
+                            tile=tile_id,
+                            reason="bloom",
+                        )
+                    continue
             schedule.append((tile_id, blob_name, nbytes))
 
         def run_tile(
@@ -1910,6 +2321,16 @@ class MPE:
             if trace is not None:
                 trace.begin("tile", "compute", tile=tile_id)
             tile = self._load_decoded_tile(server, blob_name, prefetched)
+            if self._delta is not None:
+                # Overlay composition work: charged per *scheduled*
+                # overlaid tile, whether or not the decoded cache
+                # served the composed object — like the edge-cache
+                # metering, the simulated cost is schedule-driven and
+                # therefore executor-invariant.
+                overlay = self._delta.overlays.get(tile_id)
+                if overlay is not None and not overlay.is_empty:
+                    server.counters.delta_bytes += overlay.nbytes()
+                    server.counters.delta_edges += overlay.num_ops
             server.counters.add_memory("scratch", nbytes)
             if trace is not None:
                 trace.begin("gather-apply", "compute", tile=tile_id)
@@ -1938,7 +2359,7 @@ class MPE:
             prefetcher = TilePrefetcher(
                 server,
                 schedule,
-                self._TILE_PARSER,
+                self._tile_parser,
                 depth=knobs.prefetch_depth,
                 io_threads=knobs.io_threads,
                 name_of=lambda item: item[1],
@@ -2041,7 +2462,7 @@ class MPE:
         """The single metered tile-load path (satellite of the prefetch
         PR): cache/disk accounting, fault injection, and decode all
         funnel through ``Server.load_tile`` with the shared parser."""
-        return server.load_tile(blob_name, self._TILE_PARSER, prefetched)
+        return server.load_tile(blob_name, self._tile_parser, prefetched)
 
     def _apply_server_step(
         self,

@@ -49,6 +49,10 @@ class SuperstepCost:
     # bloom pruning: each skipped tile contributes zero disk/decompress
     # but one in-memory summary check (``ClusterSpec.tile_probe_s``).
     probe_s: float = 0.0
+    # Delta-overlay time (repro.delta): decoding overlay blobs next to
+    # their base tiles (seek-bound reads) plus applying the pending edge
+    # edits while composing.  0 on frozen graphs.
+    delta_s: float = 0.0
     # Overlap-aware estimate: with the tile prefetch pipeline hiding
     # I/O behind compute, per-server local time is
     # max(disk + decompress, compute) + fault instead of their sum —
@@ -67,6 +71,7 @@ class SuperstepCost:
             + self.sync_s
             + self.fault_s
             + self.probe_s
+            + self.delta_s
         )
 
     def scaled_total(self, volume_factor: float) -> float:
@@ -85,6 +90,7 @@ class SuperstepCost:
                 + self.decompress_s
                 + self.compute_s
                 + self.probe_s
+                + self.delta_s
             )
             * volume_factor
             + self.sync_s
@@ -139,6 +145,15 @@ class CostModel:
             max(counters.net_sent, counters.net_recv) * k / spec.network_bps
         )
         probe_s = counters.tiles_skipped * k * spec.tile_probe_s
+        # Overlays are small seek-bound reads beside the streamed base
+        # tile, so their bytes price at random-read bandwidth; the edit
+        # application is per-edge array surgery.  Neither overlaps with
+        # the prefetch pipeline (composition happens at decode time,
+        # after the base bytes arrive).
+        delta_s = (
+            counters.delta_bytes * k / spec.disk_random_read_bps
+            + counters.delta_edges * k * spec.delta_edge_apply_s
+        )
         return SuperstepCost(
             disk_s=disk_s,
             network_s=net_s,
@@ -147,11 +162,13 @@ class CostModel:
             sync_s=0.0,
             fault_s=counters.fault_delay_s,
             probe_s=probe_s,
+            delta_s=delta_s,
             overlap_s=(
                 max(disk_s + decompress_s, compute_s)
                 + net_s
                 + counters.fault_delay_s
                 + probe_s
+                + delta_s
             ),
         )
 
@@ -164,14 +181,22 @@ class CostModel:
         slowest = max(
             costs,
             key=lambda c: (
-                c.disk_s + c.decompress_s + c.compute_s + c.fault_s + c.probe_s
+                c.disk_s
+                + c.decompress_s
+                + c.compute_s
+                + c.fault_s
+                + c.probe_s
+                + c.delta_s
             ),
         )
         # Under overlap the straggler may be a *different* server (one
         # can be disk-bound, another compute-bound), so take the max of
         # the per-server overlap estimates independently.
         overlap_local = max(
-            max(c.disk_s + c.decompress_s, c.compute_s) + c.fault_s + c.probe_s
+            max(c.disk_s + c.decompress_s, c.compute_s)
+            + c.fault_s
+            + c.probe_s
+            + c.delta_s
             for c in costs
         )
         net_s = max(c.network_s for c in costs)
@@ -184,6 +209,7 @@ class CostModel:
             sync_s=sync_s,
             fault_s=slowest.fault_s,
             probe_s=slowest.probe_s,
+            delta_s=slowest.delta_s,
             overlap_s=overlap_local + net_s + sync_s,
         )
 
@@ -196,7 +222,12 @@ class CostModel:
             raise ValueError("need at least one server's counters")
         costs = [self.server_time(c) for c in per_server]
         keys = [
-            c.disk_s + c.decompress_s + c.compute_s + c.fault_s + c.probe_s
+            c.disk_s
+            + c.decompress_s
+            + c.compute_s
+            + c.fault_s
+            + c.probe_s
+            + c.delta_s
             for c in costs
         ]
         return keys.index(max(keys))

@@ -33,8 +33,9 @@ REPORT_SCHEMA = "repro-run-report/v1"
 SERVICE_REPORT_SCHEMA = "repro-service-report/v1"
 
 # Table 3 column → SuperstepCost component(s).  "probe" is the
-# selective-scheduling schedule-check time for skipped tiles (absent
-# from reports written before the selective PR; missing keys read 0).
+# selective-scheduling schedule-check time for skipped tiles; "delta"
+# is the overlay compose time on evolving graphs (both absent from
+# reports written before their PRs; missing keys read 0).
 _PHASES = (
     ("load", ("disk",)),
     ("gather-apply", ("compute", "decompress")),
@@ -42,6 +43,7 @@ _PHASES = (
     ("sync", ("sync",)),
     ("fault", ("fault",)),
     ("probe", ("probe",)),
+    ("delta", ("delta",)),
 )
 
 
@@ -73,6 +75,9 @@ def build_run_report(
         },
         "supersteps": result.trace(),
     }
+    delta = getattr(result, "delta", None)
+    if delta is not None:
+        report["delta"] = delta
     if cluster is not None:
         report["counters"] = {
             str(s.server_id): s.counters.snapshot() for s in cluster.servers
@@ -189,8 +194,8 @@ def format_run_report(report: dict, max_rows: int = 40) -> str:
     rows = report.get("supersteps", [])
     header = (
         f"{'step':>5} {'load':>9} {'gather-apply':>13} {'broadcast':>10} "
-        f"{'sync':>8} {'fault':>8} {'probe':>8} {'total':>9}  {'updated':>9} "
-        f"{'tiles p/s':>9} {'hit%':>5}"
+        f"{'sync':>8} {'fault':>8} {'probe':>8} {'delta':>8} {'total':>9}  "
+        f"{'updated':>9} {'tiles p/s':>9} {'hit%':>5}"
     )
     lines = [
         f"run report — {report.get('program') or '?'} on "
@@ -209,7 +214,7 @@ def format_run_report(report: dict, max_rows: int = 40) -> str:
             f"{row['superstep']:>5} {phases['load']:>9.4f} "
             f"{phases['gather-apply']:>13.4f} {phases['broadcast']:>10.4f} "
             f"{phases['sync']:>8.4f} {phases['fault']:>8.4f} "
-            f"{phases['probe']:>8.4f} {total:>9.4f}  "
+            f"{phases['probe']:>8.4f} {phases['delta']:>8.4f} {total:>9.4f}  "
             f"{row['updated_vertices']:>9} "
             f"{row['tiles_processed']:>4}/{row['tiles_skipped']:<4} "
             f"{100.0 * row.get('cache_hit_ratio', 0.0):>5.1f}"
@@ -237,7 +242,8 @@ def format_run_report(report: dict, max_rows: int = 40) -> str:
         lines.append(
             f"{'mean*':>5} {mean['load']:>9.4f} {mean['gather-apply']:>13.4f} "
             f"{mean['broadcast']:>10.4f} {mean['sync']:>8.4f} "
-            f"{mean['fault']:>8.4f} {mean['probe']:>8.4f} {mean_total:>9.4f}"
+            f"{mean['fault']:>8.4f} {mean['probe']:>8.4f} "
+            f"{mean['delta']:>8.4f} {mean_total:>9.4f}"
             "   (* first superstep excluded, the paper's metric)"
         )
     totals = report.get("totals", {})
@@ -256,6 +262,12 @@ def format_run_report(report: dict, max_rows: int = 40) -> str:
         lines.append(
             "runtime: "
             + " ".join(f"{k}={v}" for k, v in sorted(runtime.items()))
+        )
+    delta = report.get("delta")
+    if delta:
+        lines.append(
+            "delta: "
+            + " ".join(f"{k}={v}" for k, v in sorted(delta.items()))
         )
     tuning = report.get("tuning")
     if tuning:

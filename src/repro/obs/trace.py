@@ -74,6 +74,10 @@ SERVICE_TID = 20_000
 # The autotuner's decision lane: knob-switch and model-fit instants,
 # recorded by the parent at superstep boundaries.
 TUNING_TID = 30_000
+# The delta subsystem's lane: mutation/compact/merge instants plus
+# dirty-set-size and overlay-bytes gauges, recorded host-side when a
+# mutation batch is applied or an incremental run is planned.
+DELTA_TID = 40_000
 
 
 def _now() -> float:
@@ -248,6 +252,13 @@ class Tracer:
         instants at superstep boundaries).  Parent-only, single-writer;
         created only for tuned runs."""
         return self._buffer(TUNING_TID, "tuning")
+
+    def delta(self) -> TraceBuffer:
+        """The delta subsystem's lane (``mutate`` / ``compact`` /
+        ``merge`` instants, ``dirty_set_size`` / ``overlay_bytes``
+        gauges).  Host-side, single-writer; created only for evolving
+        graphs."""
+        return self._buffer(DELTA_TID, "delta")
 
     def _buffer(self, tid: int, label: str) -> TraceBuffer:
         buf = self._buffers.get(tid)

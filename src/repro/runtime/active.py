@@ -61,6 +61,33 @@ class ActiveBitmap:
             bits.set_many(self.updated)
             self._bits = bits
 
+    @classmethod
+    def seed_from_ids(cls, vertex_ids, num_vertices: int) -> "ActiveBitmap":
+        """Build a frontier directly from a set of vertex ids.
+
+        The public seeding path for dirty-set consumers (``repro.delta``
+        seeds a mutation batch's dirty vertices as "updated last
+        superstep").  Ids are validated, deduplicated, and sorted, so
+        the bitmap is identical however the caller ordered them.
+        """
+        ids = np.unique(np.asarray(vertex_ids, dtype=np.int64))
+        if ids.size and (ids[0] < 0 or ids[-1] >= int(num_vertices)):
+            raise ValueError(
+                f"vertex ids must lie in [0, {num_vertices}); "
+                f"got range [{int(ids[0])}, {int(ids[-1])}]"
+            )
+        return cls(ids, num_vertices)
+
+    def union(self, other: "ActiveBitmap") -> "ActiveBitmap":
+        """A new bitmap active wherever either input is."""
+        if self.num_vertices != other.num_vertices:
+            raise ValueError(
+                f"bitmap sizes differ: {self.num_vertices} vs "
+                f"{other.num_vertices}"
+            )
+        merged = np.union1d(self.updated, other.updated)
+        return ActiveBitmap(merged, self.num_vertices)
+
     @property
     def count(self) -> int:
         """Number of active vertices."""

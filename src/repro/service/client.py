@@ -14,7 +14,8 @@ Two ways to talk to an :class:`repro.service.engine.Engine`:
 
   Ops: ``ping``, ``submit``, ``jobs``, ``status`` (one job),
   ``wait`` (block until terminal), ``result`` (values included),
-  ``report`` (the service report dict).
+  ``report`` (the service report dict), ``mutate`` (apply an edge
+  insert/delete batch to a registered graph — repro.delta).
 """
 
 from __future__ import annotations
@@ -57,6 +58,10 @@ class ServiceClient:
     def result(self, job_id: str) -> dict | None:
         result = self.engine.load_result(job_id)
         return None if result is None else result.to_dict(include_values=True)
+
+    def mutate(self, graph: str, ops) -> dict:
+        """Apply an edge insert/delete batch to a registered graph."""
+        return self.engine.mutate(graph, ops)
 
     def report(self) -> dict:
         from repro.obs.report import build_service_report
@@ -105,6 +110,9 @@ def _dispatch(client: ServiceClient, request: dict) -> dict:
         return {"ok": True, "result": result}
     if op == "report":
         return {"ok": True, "report": client.report()}
+    if op == "mutate":
+        report = client.mutate(request["graph"], request.get("ops", []))
+        return {"ok": True, "mutate": report}
     return {"ok": False, "error": f"unknown op {op!r}"}
 
 
@@ -169,3 +177,8 @@ class SocketServiceClient:
 
     def report(self) -> dict:
         return self.request({"op": "report"})["report"]
+
+    def mutate(self, graph: str, ops) -> dict:
+        return self.request({"op": "mutate", "graph": graph, "ops": ops})[
+            "mutate"
+        ]

@@ -43,6 +43,7 @@ serialises (the MPE's begin/end span buffers are single-writer).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import threading
@@ -281,10 +282,23 @@ class Engine:
                 raise ValueError(f"graph {name!r} already registered")
         build = ClusterBuild(num_servers=num_servers or self.num_servers)
         base = config or self.base_config
+        # Registrations always carry evolving-graph support: with no
+        # pending mutations the delta machinery is a bitwise no-op
+        # (values, counters, modeled costs), and it lets jobs flip
+        # ``incremental`` and clients call :meth:`mutate` without a
+        # re-registration.
+        if not base.mutations:
+            base = dataclasses.replace(base, mutations=True)
         manifest = build.load(graph, avg_tile_edges=avg_tile_edges, name=name)
         mpe = build.mpe(name, config=base, tracer=self.tracer)
         mpe.setup()  # the once-per-graph cold start
         ctx = GraphContext(name, build, mpe, base)
+        # Replay this graph's persisted mutation log (service restart)
+        # before the arena freezes tile bytes: overlays/merges from
+        # earlier sessions must be visible to every job.  Fixed-point
+        # memory does not survive a restart — the first incremental job
+        # after one fails with a reason until a scratch run completes.
+        self._replay_mutlog(ctx)
         if self.share_tiles:
             ctx.install_arena()
         with self._lock:
@@ -313,6 +327,64 @@ class Engine:
     def graphs(self) -> list[str]:
         with self._lock:
             return sorted(self._graphs)
+
+    # -- evolving graphs (repro.delta) ---------------------------------
+    def mutate(self, graph: str, ops) -> dict:
+        """Apply a batch of edge mutations to a registered graph.
+
+        ``ops`` is a list of ``{"op": "insert"|"delete", "src", "dst"
+        [, "weight"]}`` dicts.  The batch lands in per-tile delta
+        overlays on the warm engine (base tile blobs stay immutable,
+        shared arena included); every job submitted afterwards sees the
+        mutated graph, and ``incremental=True`` jobs repair from the
+        previous fixed point.  Serialises against jobs on the same
+        graph via the context lock.  The full mutation log persists to
+        the state dir and is replayed on restart, so mutations survive
+        a service bounce.  Returns the compaction report.
+        """
+        with self._lock:
+            ctx = self._graphs.get(graph)
+        if ctx is None:
+            raise KeyError(f"graph {graph!r} not registered")
+        outer = self._exec_lock if self.tracer is not None else _NULL_LOCK
+        with outer, ctx.lock:
+            report = ctx.mpe.apply_mutations(ops)
+            self._persist_mutlog(ctx)
+        if self.tracer is not None:
+            self.tracer.service().instant(
+                "graph_mutate",
+                "service",
+                graph=graph,
+                applied=report["applied"],
+                inserts=report["inserts"],
+                deletes=report["deletes"],
+                affected_tiles=report["affected_tiles"],
+                merged=len(report["merged"]),
+            )
+        return report
+
+    def _persist_mutlog(self, ctx: GraphContext) -> None:
+        if not self.state_dir or ctx.mpe.mutation_log is None:
+            return
+        ctx.mpe.mutation_log.save(
+            os.path.join(self.state_dir, f"mutlog-{ctx.name}.json")
+        )
+
+    def _replay_mutlog(self, ctx: GraphContext) -> None:
+        """Re-apply a persisted mutation log after a restart.
+
+        The fresh engine's delta watermark is 0, so the whole log
+        replays; compaction is deterministic, so overlays and merges
+        land exactly as the pre-restart session left them.
+        """
+        if not self.state_dir:
+            return
+        path = os.path.join(self.state_dir, f"mutlog-{ctx.name}.json")
+        if not os.path.exists(path):
+            return
+        from repro.delta.mutlog import MutationLog
+
+        ctx.mpe.apply_mutations(log=MutationLog.load(path))
 
     # -- submission ----------------------------------------------------
     def submit(self, spec: JobSpec) -> JobRecord:
@@ -570,6 +642,7 @@ class Engine:
             disk_read_bytes=result.total_disk_read(),
             recovery=recovery,
             tuning=result.tuning,
+            delta=result.delta,
         )
 
     def _run_supervised(self, ctx: GraphContext, spec: JobSpec, program):

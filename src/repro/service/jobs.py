@@ -158,6 +158,12 @@ class JobSpec:
     # live on the warm engine, so a later tuned job against the same
     # registration skips the exploration window.
     tune: bool | None = None
+    # Incremental computation (repro.delta): restart from this graph's
+    # previous fixed point for the same algorithm, repairing only the
+    # vertices disturbed by mutations applied since.  Run-scoped: the
+    # fixed-point memory lives on the warm engine.  Requires a prior
+    # completed run of the same algorithm on this registration.
+    incremental: bool | None = None
     max_supersteps: int | None = None
     checkpoint_every: int | None = None
     # Fault-injection schedule (list of FaultEvent dicts) + retry budget:
@@ -186,6 +192,7 @@ class JobSpec:
             ("selective", "selective_scheduling"),
             ("vertex_store", "vertex_store"),
             ("tune", "tune"),
+            ("incremental", "incremental"),
             ("max_supersteps", "max_supersteps"),
             ("checkpoint_every", "checkpoint_every"),
         ):
@@ -234,6 +241,9 @@ class JobResult:
     # Autotuner summary (fitted constants, residuals, decision trace)
     # when the job ran tuned; None otherwise.
     tuning: dict | None = None
+    # Evolving-graph summary (repro.delta): incremental-plan stats plus
+    # the overlay-store state; None on non-evolving registrations.
+    delta: dict | None = None
 
     def to_dict(self, include_values: bool = True) -> dict:
         d = {
@@ -252,6 +262,7 @@ class JobResult:
             "disk_read_bytes": self.disk_read_bytes,
             "recovery": self.recovery,
             "tuning": self.tuning,
+            "delta": self.delta,
         }
         if include_values and self.values is not None:
             d["values"] = [float(v) for v in self.values]
@@ -279,6 +290,7 @@ class JobResult:
             disk_read_bytes=int(d.get("disk_read_bytes", 0)),
             recovery=d.get("recovery"),
             tuning=d.get("tuning"),
+            delta=d.get("delta"),
         )
 
 

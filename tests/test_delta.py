@@ -1,0 +1,479 @@
+"""Tests for ``repro.delta``: evolving graphs + incremental computation.
+
+The subsystem invariants:
+
+* **Incremental ≡ scratch** — a program restarted from its previous
+  fixed point with a mutation batch's dirty set converges to the same
+  fixed point as a from-scratch run over the mutated graph: bitwise for
+  min-programs (SSSP / WCC — min is order-independent), and within
+  float tolerance for PageRank (the repair replays additions in a
+  different order; observed max diff ~2e-9, asserted at 1e-7).  Holds
+  at every executor × selective on/off.
+* **Off = bitwise no-op** — ``mutations=True`` with no pending batch
+  changes nothing: values, counters, and modeled costs are bit-for-bit
+  identical to ``mutations=None``.
+* **Fault determinism** — incremental runs replay identically under a
+  fault schedule (decisions are frozen parent-side; fixed-point memory
+  only advances at successful run end, so retries rebuild the same
+  plan).
+* **Compaction is atomic** — a batch that fails validation (deleting a
+  missing edge) leaves the store untouched; replay is idempotent by
+  watermark.
+* **Merges are invisible** — folding an overlay into a rewritten base
+  tile preserves the composed CSR exactly, so values match the
+  overlay-composed engine bitwise.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps import SSSP, PageRank, WCC
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import MPE, MPEConfig, SPE
+from repro.delta import (
+    DeltaStore,
+    MutationLog,
+    TileOverlay,
+    mirrored,
+    random_mutations,
+)
+from repro.faults import CRASH, DISK_ERROR, FaultEvent, FaultSchedule, Supervisor
+from repro.graph import chung_lu_graph
+from repro.runtime import process_runtime_available
+
+needs_process = pytest.mark.skipif(
+    not process_runtime_available(),
+    reason="platform lacks fork + POSIX shared memory",
+)
+
+N_SERVERS = 3
+
+EXECUTORS = ["serial", "parallel"] + (
+    ["process"] if process_runtime_available() else []
+)
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return chung_lu_graph(250, 2500, seed=95, name="delta-g")
+
+
+@pytest.fixture(scope="module")
+def batch(skewed):
+    return random_mutations(skewed, num_inserts=60, num_deletes=40, seed=7)
+
+
+def _engine(graph, cfg=None, tile_edges=None):
+    """Fresh cluster + preprocessed tiles + engine; caller closes."""
+    cluster = Cluster(ClusterSpec(num_servers=N_SERVERS))
+    spe = SPE(cluster.dfs)
+    manifest = spe.preprocess(
+        graph,
+        tile_edges or max(1, graph.num_edges // (48 * N_SERVERS)),
+        name=graph.name,
+    )
+    mpe = MPE(cluster, manifest, cfg or MPEConfig(mutations=True))
+    return mpe, cluster
+
+
+def _story(mpe, result):
+    """The full observable story of one run (for bitwise comparisons)."""
+    return {
+        "counters": [
+            s.counters.snapshot() for s in mpe.cluster.servers
+        ],
+        "modeled": [
+            r["modeled_s"] for r in result.trace() if "modeled_s" in r
+        ],
+        "skipped": [s.tiles_skipped for s in result.supersteps],
+    }
+
+
+# ----------------------------------------------------------------------
+# The core invariant: incremental ≡ scratch on the mutated graph
+# ----------------------------------------------------------------------
+class TestIncrementalMatchesScratch:
+    def _compare(self, graph, ops, program_factory, executor, selective,
+                 exact, expect_change=True):
+        cfg = MPEConfig(
+            mutations=True,
+            executor=executor,
+            selective_scheduling=selective,
+        )
+        mpe, cluster = _engine(graph, cfg)
+        try:
+            base = mpe.run(program_factory())  # records the fixed point
+            assert base.converged
+            report = mpe.apply_mutations(ops)
+            assert report["applied"] == len(ops)
+
+            mpe.config = dataclasses.replace(cfg, incremental=True)
+            inc = mpe.run(program_factory())
+            assert inc.converged
+            assert inc.delta["incremental"] is True
+            assert inc.delta["dirty_vertices"] > 0
+
+            mpe.config = cfg  # scratch on the same overlaid engine
+            scratch = mpe.run(program_factory())
+            assert scratch.converged
+            assert scratch.delta["incremental"] is False
+
+            if exact:
+                assert np.array_equal(inc.values, scratch.values)
+            else:
+                assert np.allclose(inc.values, scratch.values, atol=1e-7)
+            if expect_change:  # the batch actually changed the answer
+                assert not np.array_equal(scratch.values, base.values)
+            # and the incremental restart did less work than scratch
+            assert inc.num_supersteps <= scratch.num_supersteps
+        finally:
+            cluster.close()
+
+    @pytest.mark.parametrize("selective", [False, True])
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_sssp(self, skewed, batch, executor, selective):
+        self._compare(
+            skewed, batch, lambda: SSSP(source=1), executor, selective,
+            exact=True,
+        )
+
+    @pytest.mark.parametrize("selective", [False, True])
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_pagerank(self, skewed, batch, executor, selective):
+        self._compare(
+            skewed, batch, PageRank, executor, selective, exact=False
+        )
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_wcc_on_symmetrised_graph(self, skewed, batch, executor):
+        sym = skewed.to_undirected_edges()
+        # the graph stays one component, so the labels legitimately
+        # don't change — the invariant under test is inc ≡ scratch
+        self._compare(
+            sym, mirrored(batch), WCC, executor, selective=True, exact=True,
+            expect_change=False,
+        )
+
+    def test_second_batch_repairs_from_new_fixed_point(self, skewed, batch):
+        """Fixed-point memory advances: mutate → incremental → mutate →
+        incremental, each repair starting from the last converged run."""
+        cfg = MPEConfig(mutations=True, incremental=True)
+        mpe, cluster = _engine(skewed, MPEConfig(mutations=True))
+        try:
+            mpe.run(SSSP(source=1))
+            mpe.apply_mutations(batch)
+            mpe.config = cfg
+            first = mpe.run(SSSP(source=1))
+            mpe.apply_mutations(
+                random_mutations(
+                    skewed, num_inserts=30, num_deletes=0, seed=13
+                )
+            )
+            second = mpe.run(SSSP(source=1))
+            assert second.delta["watermark"] == len(batch) + 30
+            mpe.config = MPEConfig(mutations=True)
+            scratch = mpe.run(SSSP(source=1))
+            assert np.array_equal(second.values, scratch.values)
+            assert first.converged and second.converged
+        finally:
+            cluster.close()
+
+
+# ----------------------------------------------------------------------
+# Off = bitwise no-op
+# ----------------------------------------------------------------------
+class TestNoOpIdentity:
+    def test_mutations_on_without_batch_is_bitwise_noop(self, skewed):
+        plain_mpe, plain_cluster = _engine(skewed, MPEConfig())
+        delta_mpe, delta_cluster = _engine(skewed, MPEConfig(mutations=True))
+        try:
+            plain = plain_mpe.run(SSSP(source=1))
+            withd = delta_mpe.run(SSSP(source=1))
+            assert np.array_equal(plain.values, withd.values)
+            assert _story(plain_mpe, plain) == _story(delta_mpe, withd)
+            assert withd.delta is not None
+            assert withd.delta["applied_mutations"] == 0
+            assert all(
+                row["modeled_s"]["delta"] == 0.0
+                for row in withd.trace()
+                if "modeled_s" in row
+            )
+            assert plain.delta is None
+        finally:
+            plain_cluster.close()
+            delta_cluster.close()
+
+    def test_incremental_requires_mutations(self):
+        with pytest.raises(ValueError, match="requires mutations"):
+            MPEConfig(incremental=True)
+
+    def test_incremental_without_prior_run_raises(self, skewed):
+        mpe, cluster = _engine(
+            skewed, MPEConfig(mutations=True, incremental=True)
+        )
+        try:
+            with pytest.raises(ValueError, match="previous completed run"):
+                mpe.run(SSSP(source=1))
+        finally:
+            cluster.close()
+
+    def test_empty_incremental_batch_converges_immediately(self, skewed):
+        mpe, cluster = _engine(skewed, MPEConfig(mutations=True))
+        try:
+            base = mpe.run(SSSP(source=1))
+            mpe.config = MPEConfig(mutations=True, incremental=True)
+            rerun = mpe.run(SSSP(source=1))
+            assert rerun.converged
+            assert rerun.num_supersteps == 1
+            assert np.array_equal(rerun.values, base.values)
+        finally:
+            cluster.close()
+
+    def test_apply_mutations_requires_config(self, skewed):
+        mpe, cluster = _engine(skewed, MPEConfig())
+        try:
+            with pytest.raises(ValueError, match="mutations"):
+                mpe.apply_mutations([{"op": "insert", "src": 0, "dst": 1}])
+        finally:
+            cluster.close()
+
+
+# ----------------------------------------------------------------------
+# Fault determinism: incremental repair under a crash schedule
+# ----------------------------------------------------------------------
+class TestFaultDeterminism:
+    def _supervised_incremental(self, graph, ops, schedule_events):
+        cfg = MPEConfig(
+            mutations=True, checkpoint_every=2, max_supersteps=60
+        )
+        mpe, cluster = _engine(graph, cfg)
+        try:
+            mpe.run(SSSP(source=1))
+            mpe.apply_mutations(ops)
+            mpe.config = dataclasses.replace(cfg, incremental=True)
+            schedule = FaultSchedule(
+                [FaultEvent(**e) for e in schedule_events]
+            )
+            supervisor = Supervisor(mpe, schedule=schedule)
+            try:
+                result, report = supervisor.run(SSSP(source=1))
+            finally:
+                supervisor.injector.detach()
+            values = result.values.copy()
+            story = _story(mpe, result)
+            return values, report.to_dict(), story
+        finally:
+            cluster.close()
+
+    def test_crash_replay_is_deterministic(self, skewed, batch):
+        events = [dict(kind=CRASH, superstep=2, server=0)]
+        a = self._supervised_incremental(skewed, batch, events)
+        b = self._supervised_incremental(skewed, batch, events)
+        assert np.array_equal(a[0], b[0])
+        assert a[1] == b[1]
+        assert a[2] == b[2]
+        assert a[1]["restarts"] >= 1
+
+    def test_crash_recovery_matches_fault_free_values(self, skewed, batch):
+        faulted = self._supervised_incremental(
+            skewed, batch, [dict(kind=CRASH, superstep=2, server=0)]
+        )
+        clean = self._supervised_incremental(skewed, batch, [])
+        assert np.array_equal(faulted[0], clean[0])
+
+    def test_disk_error_retries_are_deterministic(self, skewed, batch):
+        events = [dict(kind=DISK_ERROR, superstep=1, server=0, retries=2)]
+        a = self._supervised_incremental(skewed, batch, events)
+        b = self._supervised_incremental(skewed, batch, events)
+        assert np.array_equal(a[0], b[0])
+        assert a[1] == b[1]
+
+
+# ----------------------------------------------------------------------
+# Mutation log: round-trips + validation
+# ----------------------------------------------------------------------
+class TestMutationLog:
+    def test_json_round_trip(self):
+        log = MutationLog(num_vertices=10)
+        log.insert(1, 2)
+        log.insert(3, 4, weight=0.5)
+        log.delete(1, 2)
+        back = MutationLog.from_json(log.to_json())
+        assert back.mutations == log.mutations
+        assert back.num_vertices == 10
+
+    def test_binary_round_trip(self):
+        log = MutationLog()
+        log.insert(7, 8, weight=2.25)
+        log.delete(9, 0)
+        back = MutationLog.from_bytes(log.to_bytes())
+        assert back.mutations == log.mutations
+        assert back.num_vertices is None
+
+    def test_save_load(self, tmp_path):
+        log = MutationLog(num_vertices=64)
+        log.extend(random_mutations(
+            chung_lu_graph(64, 300, seed=3), 10, 5, seed=3
+        ))
+        path = str(tmp_path / "mutlog.json")
+        log.save(path)
+        assert MutationLog.load(path).mutations == log.mutations
+
+    def test_ids_are_dense_and_monotonic(self):
+        log = MutationLog()
+        muts = log.extend(
+            [{"op": "insert", "src": 0, "dst": 1}] * 5
+        )
+        assert [m.mut_id for m in muts] == [1, 2, 3, 4, 5]
+        assert log.last_id == 5
+        assert [m.mut_id for m in log.since(2)] == [3, 4, 5]
+
+    def test_from_json_rejects_sparse_ids(self):
+        log = MutationLog()
+        log.insert(0, 1)
+        payload = log.to_json()
+        payload["mutations"][0]["mut_id"] = 4
+        with pytest.raises(ValueError, match="dense"):
+            MutationLog.from_json(payload)
+
+    def test_endpoint_validation(self):
+        log = MutationLog(num_vertices=4)
+        with pytest.raises(ValueError, match="cannot add vertices"):
+            log.insert(0, 4)
+        with pytest.raises(ValueError, match=">= 0"):
+            log.delete(-1, 0)
+
+    def test_mirrored_doubles_the_batch(self):
+        ops = [
+            {"op": "insert", "src": 1, "dst": 2, "weight": 3.0},
+            {"op": "delete", "src": 4, "dst": 5},
+        ]
+        out = mirrored(ops)
+        assert len(out) == 4
+        assert {(o["src"], o["dst"]) for o in out} == {
+            (1, 2), (2, 1), (4, 5), (5, 4)
+        }
+
+
+# ----------------------------------------------------------------------
+# Compaction: atomicity, idempotence, merges
+# ----------------------------------------------------------------------
+class TestCompaction:
+    def test_failed_batch_leaves_store_untouched(self, skewed):
+        mpe, cluster = _engine(skewed, MPEConfig(mutations=True))
+        try:
+            mpe.setup()
+            mpe.apply_mutations([{"op": "insert", "src": 0, "dst": 1}])
+            before = mpe._delta.summary()
+            # deleting an edge that does not exist fails validation
+            with pytest.raises(ValueError):
+                mpe.apply_mutations([
+                    {"op": "insert", "src": 2, "dst": 3},
+                    {"op": "delete", "src": 0, "dst": 0},
+                ])
+            # watermark and overlays unchanged: nothing partially landed
+            after = mpe._delta.summary()
+            assert after["watermark"] == before["watermark"]
+            assert after["overlay_edges"] == before["overlay_edges"]
+        finally:
+            cluster.close()
+
+    def test_replay_is_idempotent_by_watermark(self, skewed, batch):
+        mpe, cluster = _engine(skewed, MPEConfig(mutations=True))
+        try:
+            mpe.apply_mutations(batch)
+            log = mpe.mutation_log
+            watermark = mpe._delta.watermark
+            # re-adopting the same full log applies nothing new
+            report = mpe.apply_mutations(log=log)
+            assert report["applied"] == 0
+            assert mpe._delta.watermark == watermark
+        finally:
+            cluster.close()
+
+    def test_stale_log_adoption_rejected(self, skewed, batch):
+        mpe, cluster = _engine(skewed, MPEConfig(mutations=True))
+        try:
+            mpe.apply_mutations(batch)
+            with pytest.raises(ValueError, match="already applied"):
+                mpe.apply_mutations(log=MutationLog())
+        finally:
+            cluster.close()
+
+    def test_merge_is_invisible_to_values(self, skewed, batch):
+        """A forced merge (tiny threshold) rewrites base tiles; values
+        stay bitwise identical to the overlay-composed engine."""
+        overlay_mpe, overlay_cluster = _engine(
+            skewed, MPEConfig(mutations=True)
+        )
+        merged_mpe, merged_cluster = _engine(
+            skewed, MPEConfig(mutations=True)
+        )
+        try:
+            overlay_mpe.setup()
+            # large ratio: overlays never merge
+            overlay_mpe._delta.merge_ratio = 1e9
+            overlay_mpe.apply_mutations(batch)
+            assert overlay_mpe._delta.merges == 0
+
+            merged_mpe.setup()
+            merged_mpe._delta.merge_ratio = 1e-9  # every overlay merges
+            report = merged_mpe.apply_mutations(batch)
+            assert len(report["merged"]) > 0
+            assert merged_mpe._delta.summary()["overlay_edges"] == 0
+
+            a = overlay_mpe.run(SSSP(source=1))
+            b = merged_mpe.run(SSSP(source=1))
+            assert np.array_equal(a.values, b.values)
+            # merged engine still supports incremental repair
+            merged_mpe.apply_mutations(
+                random_mutations(skewed, 20, 0, seed=21)
+            )
+            merged_mpe.config = MPEConfig(mutations=True, incremental=True)
+            inc = merged_mpe.run(SSSP(source=1))
+            merged_mpe.config = MPEConfig(mutations=True)
+            scratch = merged_mpe.run(SSSP(source=1))
+            assert np.array_equal(inc.values, scratch.values)
+        finally:
+            overlay_cluster.close()
+            merged_cluster.close()
+
+    def test_overlay_blob_round_trip(self):
+        log = MutationLog()
+        log.insert(3, 5, weight=1.5)
+        log.insert(2, 5)
+        log.delete(3, 5)
+        overlay = TileOverlay(tile_id=0)
+        for mut in log.mutations:
+            overlay.apply(mut)
+        back = TileOverlay.from_bytes(overlay.to_bytes())
+        assert back.tile_id == overlay.tile_id
+        assert back.num_ops == overlay.num_ops
+        assert back.to_bytes() == overlay.to_bytes()
+
+
+# ----------------------------------------------------------------------
+# Checkpoint durability: incremental state survives restore
+# ----------------------------------------------------------------------
+class TestCheckpointDurability:
+    def test_overlaid_run_resumes_from_checkpoint(self, skewed, batch):
+        """Kill a scratch-on-overlay run mid-flight; resume completes
+        over the same overlays and matches an uninterrupted run."""
+        cfg = MPEConfig(mutations=True, checkpoint_every=2)
+        mpe, cluster = _engine(skewed, cfg)
+        try:
+            mpe.apply_mutations(batch)
+            full = mpe.run(SSSP(source=1))
+            assert full.converged
+            # partial run: cut off after 3 supersteps, then resume
+            mpe.config = dataclasses.replace(cfg, max_supersteps=3)
+            partial = mpe.run(SSSP(source=1))
+            assert not partial.converged
+            mpe.config = cfg
+            resumed = mpe.run(SSSP(source=1), resume=True)
+            assert resumed.converged
+            assert np.array_equal(resumed.values, full.values)
+        finally:
+            cluster.close()

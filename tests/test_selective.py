@@ -361,6 +361,45 @@ class TestActivePrimitives:
             ActiveBitmap(np.array([0], dtype=np.int64), 4)
         )
 
+    def test_seed_from_ids_sorts_and_dedups(self):
+        bm = ActiveBitmap.seed_from_ids([9, 2, 2, 40, 9], 64)
+        assert np.array_equal(bm.updated, np.array([2, 9, 40], dtype=np.int64))
+        assert bm.num_vertices == 64
+        assert bm.count == 3
+        assert bm.any_of(np.array([9], dtype=np.int64))
+        assert not bm.any_of(np.array([10], dtype=np.int64))
+
+    def test_seed_from_ids_accepts_empty_and_arrays(self):
+        empty = ActiveBitmap.seed_from_ids([], 16)
+        assert empty.count == 0
+        assert not empty.any_in_range(0, 15)
+        from_arr = ActiveBitmap.seed_from_ids(
+            np.array([5, 1], dtype=np.int64), 16
+        )
+        assert np.array_equal(from_arr.updated, np.array([1, 5], dtype=np.int64))
+
+    def test_seed_from_ids_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ActiveBitmap.seed_from_ids([3, 64], 64)
+        with pytest.raises(ValueError):
+            ActiveBitmap.seed_from_ids([-1], 64)
+
+    def test_union(self):
+        a = ActiveBitmap.seed_from_ids([1, 5], 32)
+        b = ActiveBitmap.seed_from_ids([5, 9], 32)
+        u = a.union(b)
+        assert np.array_equal(u.updated, np.array([1, 5, 9], dtype=np.int64))
+        assert u.num_vertices == 32
+        # union with an empty bitmap is the identity set
+        e = ActiveBitmap.seed_from_ids([], 32)
+        assert np.array_equal(a.union(e).updated, a.updated)
+
+    def test_union_rejects_mismatched_domains(self):
+        a = ActiveBitmap.seed_from_ids([1], 32)
+        b = ActiveBitmap.seed_from_ids([1], 16)
+        with pytest.raises(ValueError):
+            a.union(b)
+
 
 # ----------------------------------------------------------------------
 # Scale: the 10⁷-edge convergence smoke (slow; run explicitly or in CI)

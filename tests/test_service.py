@@ -415,6 +415,137 @@ class TestPersistence:
 
 
 # ----------------------------------------------------------------------
+# Evolving graphs (repro.delta): mutate-while-serving + durability
+# ----------------------------------------------------------------------
+class TestEvolvingGraphs:
+    def _mutations(self, graph, seed=7, num_deletes=25):
+        from repro.delta import random_mutations
+
+        return random_mutations(
+            graph, num_inserts=40, num_deletes=num_deletes, seed=seed
+        )
+
+    def test_mutate_query_mutate_query_incremental(self, graph, tmp_path):
+        """The headline session: queries interleaved with mutation
+        batches, incremental jobs matching scratch at every step."""
+        import numpy as np
+
+        segments_before = set(outstanding_segments())
+        eng = Engine(
+            num_servers=2,
+            state_dir=str(tmp_path / "state"),
+            share_tiles=False,
+        )
+        try:
+            eng.register_graph(graph, name="evo")
+            client = ServiceClient(eng)
+
+            def run_job(**fields):
+                rec = client.submit(graph="evo", algorithm="sssp",
+                                    params={"source": 1}, **fields)
+                eng.run_next()
+                job = client.wait(rec["job_id"])
+                assert job["status"] == JobStatus.DONE, job["reason"]
+                return np.asarray(client.result(rec["job_id"])["values"])
+
+            base = run_job()
+            # batch 2 is insert-only: deletes are sampled from the
+            # *original* edge list and could collide with batch 1's
+            for seed, deletes in ((7, 25), (21, 0)):
+                batch = self._mutations(graph, seed, num_deletes=deletes)
+                report = client.mutate("evo", batch)
+                assert report["applied"] == len(batch)
+                inc = run_job(incremental=True)
+                scratch = run_job()
+                assert np.array_equal(inc, scratch)
+            assert not np.array_equal(scratch, base)
+        finally:
+            eng.shutdown()
+        # relative to the module engine fixture's long-lived arena
+        assert set(outstanding_segments()) == segments_before
+
+    def test_mutation_log_survives_restart(self, graph, tmp_path):
+        """The persisted mutlog replays on re-registration: queries see
+        the mutated graph bitwise; fixed-point memory does not survive,
+        so the first incremental job fails with a reason."""
+        import numpy as np
+
+        segments_before = set(outstanding_segments())
+        state = str(tmp_path / "state")
+        eng = Engine(num_servers=2, state_dir=state, share_tiles=False)
+        eng.register_graph(graph, name="evo")
+        client = ServiceClient(eng)
+        r = client.submit(graph="evo", algorithm="sssp",
+                          params={"source": 1})
+        eng.run_next()
+        client.wait(r["job_id"])
+        client.mutate("evo", self._mutations(graph))
+        assert os.path.exists(os.path.join(state, "mutlog-evo.json"))
+        r = client.submit(graph="evo", algorithm="sssp",
+                          params={"source": 1})
+        eng.run_next()
+        client.wait(r["job_id"])
+        before = np.asarray(client.result(r["job_id"])["values"])
+        eng.shutdown()
+
+        restarted = Engine(num_servers=2, state_dir=state,
+                           share_tiles=False)
+        try:
+            restarted.register_graph(graph, name="evo")
+            client = ServiceClient(restarted)
+            # incremental first: no fixed point survived the bounce
+            r = client.submit(graph="evo", algorithm="sssp",
+                              params={"source": 1}, incremental=True)
+            restarted.run_next()
+            job = client.wait(r["job_id"])
+            assert job["status"] == JobStatus.FAILED
+            assert "previous completed run" in job["reason"]
+            # scratch sees the replayed mutations bitwise
+            r = client.submit(graph="evo", algorithm="sssp",
+                              params={"source": 1})
+            restarted.run_next()
+            job = client.wait(r["job_id"])
+            assert job["status"] == JobStatus.DONE, job["reason"]
+            after = np.asarray(client.result(r["job_id"])["values"])
+            assert np.array_equal(after, before)
+            # and incremental works again once a fixed point exists
+            r = client.submit(graph="evo", algorithm="sssp",
+                              params={"source": 1}, incremental=True)
+            restarted.run_next()
+            job = client.wait(r["job_id"])
+            assert job["status"] == JobStatus.DONE, job["reason"]
+        finally:
+            restarted.shutdown()
+        assert set(outstanding_segments()) == segments_before
+
+    @pytest.mark.skipif(
+        not process_runtime_available(),
+        reason="platform lacks fork + POSIX shared memory",
+    )
+    def test_overlay_eviction_releases_segments(self, graph):
+        """Mutated graphs under a shared warm-tile arena (including
+        merged, versioned tile blobs) evict segment-clean."""
+        segments_before = set(outstanding_segments())
+        eng = Engine(num_servers=2, share_tiles=True)
+        try:
+            eng.register_graph(graph, name="evo-arena")
+            with eng._lock:
+                ctx = eng._graphs["evo-arena"]
+            assert ctx.arena is not None
+            # force merges so versioned blobs exist next to the arena
+            ctx.mpe._delta.merge_ratio = 1e-9
+            eng.mutate("evo-arena", self._mutations(graph))
+            rec = eng.submit(JobSpec(graph="evo-arena", algorithm="sssp",
+                                     params={"source": 1}))
+            eng.run_next()
+            assert rec.status == JobStatus.DONE, rec.reason
+            eng.evict_graph("evo-arena")
+        finally:
+            eng.shutdown()
+        assert set(outstanding_segments()) == segments_before
+
+
+# ----------------------------------------------------------------------
 # Lifecycle: workers, shutdown, segment hygiene
 # ----------------------------------------------------------------------
 class TestLifecycle:
