@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Communication fast-path benchmark: decode-once fan-out vs cold path.
+
+Every superstep, each of the N servers broadcasts one encoded update
+payload and every receiver decodes what it got.  The cold path (the
+engine before the decode-once PR, ``comm_fastpath=False``) decodes each
+payload at every receiver — N·(N−1) decompress + varint + unpackbits
+passes per superstep over payloads that were each encoded exactly once.
+The fast path decodes each distinct payload once per superstep and
+shares the immutable result, while still charging every receiver's
+modeled decompress bytes.
+
+This bench runs PageRank (``tolerance=0`` — fixed superstep count, so
+both paths do identical algorithmic work) on the serial executor at
+N ∈ {4, 9, 16} × comm_mode ∈ {dense, sparse, hybrid}, plus a codec
+sweep at N=9 hybrid, cold vs fast, and records
+
+* ``supersteps_per_s`` (wall) per cell, and
+* the exact per-run decode-call counts: the fast path must decode
+  exactly ``S·N`` payloads and the cold path exactly ``S·N·(N−1)``
+  (asserted, not just reported — per-superstep decode work drops from
+  N·(N−1) to N).
+
+Vertex values are asserted bitwise identical cold vs fast before
+anything is written.  The decode-count fields are executor- and
+host-invariant; ``check_regress.py`` holds them to exact equality
+against the committed ``BENCH_comm.json`` while the wall rows get the
+usual host-metadata-gated tolerance.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_comm.py           # bench tier
+    PYTHONPATH=src python benchmarks/bench_comm.py --smoke   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from _common import REPO_ROOT, base_report, write_report
+
+SUPERSTEPS = 8
+DATASET = "uk2007-s"
+
+SERVER_COUNTS = (4, 9, 16)
+COMM_MODES = ("dense", "sparse", "hybrid")
+CODEC_SWEEP = ("raw", "snappylike", "zlib1", "zlib3")
+CODEC_SWEEP_N = 9
+
+
+def _cells(smoke: bool):
+    """(num_servers, comm_mode, codec) cells of the sweep."""
+    if smoke:
+        return [(4, "hybrid", "snappylike"), (4, "dense", "snappylike")]
+    cells = [
+        (n, mode, "snappylike") for n in SERVER_COUNTS for mode in COMM_MODES
+    ]
+    cells.extend(
+        (CODEC_SWEEP_N, "hybrid", codec)
+        for codec in CODEC_SWEEP
+        if codec != "snappylike"  # already covered by the mode sweep
+    )
+    return cells
+
+
+def _run_once(tier, num_servers, supersteps, comm_mode, codec, fastpath):
+    from repro.analysis.experiments import run_graphh
+    from repro.apps import PageRank
+    from repro.core import MPEConfig
+    from repro.graph import load_dataset
+
+    graph = load_dataset(DATASET, tier)
+    config = MPEConfig(
+        executor="serial",  # exact, deterministic decode attribution
+        comm_mode=comm_mode,
+        message_codec=codec,
+        comm_fastpath=fastpath,
+    )
+    result, cluster = run_graphh(
+        graph,
+        PageRank(tolerance=0.0),
+        num_servers,
+        config=config,
+        max_supersteps=supersteps,
+    )
+    cluster.close()
+    return result
+
+
+def measure(tier, num_servers, supersteps, comm_mode, codec, fastpath, repeats):
+    """Best-of-``repeats`` wall timing; decode counts from the last run
+    (they are identical across repeats — asserted)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        result = _run_once(
+            tier, num_servers, supersteps, comm_mode, codec, fastpath
+        )
+        total = float(sum(s.wall_s for s in result.supersteps))
+        if best is None or total < best:
+            best = total
+    steps = result.num_supersteps
+    decode_calls = result.payload_decode_hits + result.payload_decode_misses
+    expected_misses = (
+        steps * num_servers
+        if fastpath
+        else steps * num_servers * (num_servers - 1)
+    )
+    if result.payload_decode_misses != expected_misses:
+        raise SystemExit(
+            f"decode-count invariant broken: N={num_servers} "
+            f"fastpath={fastpath} expected {expected_misses} decodes, "
+            f"measured {result.payload_decode_misses}"
+        )
+    if decode_calls != steps * num_servers * (num_servers - 1):
+        raise SystemExit(
+            f"decode-call total broken: N={num_servers} fastpath={fastpath} "
+            f"expected {steps * num_servers * (num_servers - 1)} calls, "
+            f"measured {decode_calls}"
+        )
+    row = {
+        "supersteps": steps,
+        "steps_total_s": best,
+        "supersteps_per_s": steps / best if best else 0.0,
+        "payload_decode_misses": result.payload_decode_misses,
+        "payload_decode_hits": result.payload_decode_hits,
+        "decode_calls": decode_calls,
+        "decodes_per_superstep": result.payload_decode_misses // steps,
+        "scatter_fallbacks": result.scatter_fallbacks,
+    }
+    return row, result.values
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tier", default="bench", choices=["test", "bench"])
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_comm.json"), help="output JSON"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast run for CI: test tier, N=4, 3 supersteps",
+    )
+    args = parser.parse_args()
+
+    tier = "test" if args.smoke else args.tier
+    supersteps = 3 if args.smoke else SUPERSTEPS
+    repeats = 1 if args.smoke else args.repeats
+
+    report = base_report(
+        "comm",
+        dataset=DATASET,
+        tier=tier,
+        program="pagerank(tolerance=0)",
+        runtime_host=True,
+        supersteps=supersteps,
+        repeats=repeats,
+    )
+
+    for num_servers, comm_mode, codec in _cells(args.smoke):
+        rows = {}
+        values = {}
+        for fastpath in (False, True):
+            label = (
+                f"N{num_servers}-{comm_mode}-{codec}-"
+                f"{'fast' if fastpath else 'cold'}"
+            )
+            row, vals = measure(
+                tier, num_servers, supersteps, comm_mode, codec,
+                fastpath, repeats,
+            )
+            rows[fastpath] = {
+                "config": label,
+                "num_servers": num_servers,
+                "comm_mode": comm_mode,
+                "codec": codec,
+                "fastpath": fastpath,
+                # Serial executor: wall rows comparable across hosts
+                # only when these match (check_regress meta gate).
+                "executor": "serial",
+                "worker_width": 1,
+                "effective_parallelism": 1,
+                **row,
+            }
+            values[fastpath] = vals
+        if not np.array_equal(values[False], values[True]):
+            raise SystemExit(
+                f"values diverged cold vs fast at N={num_servers} "
+                f"mode={comm_mode} codec={codec}"
+            )
+        speedup = (
+            rows[False]["steps_total_s"] / rows[True]["steps_total_s"]
+            if rows[True]["steps_total_s"]
+            else 0.0
+        )
+        for fastpath in (False, True):
+            rows[fastpath]["speedup_fast_vs_cold"] = round(speedup, 4)
+            report["results"].append(rows[fastpath])
+        print(
+            f"N={num_servers:<3}{comm_mode:<7} {codec:<11} "
+            f"decodes/step {rows[False]['decodes_per_superstep']:>4} -> "
+            f"{rows[True]['decodes_per_superstep']:<4} "
+            f"wall {rows[False]['steps_total_s']:.3f}s -> "
+            f"{rows[True]['steps_total_s']:.3f}s ({speedup:.2f}x)"
+        )
+
+    write_report(report, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

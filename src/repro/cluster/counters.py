@@ -34,6 +34,10 @@ class Counters:
 
     # --- work volumes -----------------------------------------------------
     edges_processed: int = 0
+    # Every Channel.send counts one message here, *including* local
+    # (src == dst) sends — message count is per-send work, while the
+    # byte meters (net_sent / net_recv) stay network-only.
+    # Channel.total_messages follows the same semantics.
     messages_sent: int = 0
     # Per-message handling work (serialise/route/combine) in
     # message-passing engines; GraphH's dense-array broadcast application

@@ -65,11 +65,15 @@ class Channel:
         if src != dst:
             self.servers[src].counters.net_sent += len(payload)
             self.total_bytes += len(payload)
-            self.total_messages += 1
             if self.obs_bytes is not None:
                 self.obs_bytes.observe(len(payload))
             if not dropped:
                 self.servers[dst].counters.net_recv += len(payload)
+        # Every send is one message, local or not — mirroring the
+        # per-server ``counters.messages_sent`` semantics.  Only the
+        # *byte* meters above are network-only (local sends move no
+        # network bytes).
+        self.total_messages += 1
         self.servers[src].counters.messages_sent += 1
         if not dropped:
             self._mailboxes[dst].append(Envelope(src=src, payload=payload))

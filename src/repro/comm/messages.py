@@ -20,6 +20,7 @@ the paper settles on snappy as the default.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,6 +38,28 @@ SPARSITY_THRESHOLD = 0.8
 
 _CODEC_IDS = {name: i for i, name in enumerate(CACHE_MODES)}
 _CODEC_NAMES = {i: name for name, i in _CODEC_IDS.items()}
+
+# Dense-encode scratch: each server stages the same-sized bitvector and
+# value array every superstep, so reuse them per thread (keyed by size —
+# servers own slightly different target counts) instead of reallocating
+# on every broadcast.
+_SCRATCH = threading.local()
+
+
+def _dense_scratch(num_vertices: int) -> tuple[np.ndarray, np.ndarray]:
+    pool = getattr(_SCRATCH, "pool", None)
+    if pool is None:
+        pool = _SCRATCH.pool = {}
+    pair = pool.get(num_vertices)
+    if pair is None:
+        pair = pool[num_vertices] = (
+            np.zeros(num_vertices, dtype=bool),
+            np.zeros(num_vertices, dtype=np.float64),
+        )
+    else:
+        pair[0][...] = False
+        pair[1][...] = 0.0
+    return pair
 
 
 @dataclass(frozen=True)
@@ -98,12 +121,11 @@ def encode_update(
     if mode is None:
         mode = choose_mode(ids.size, num_vertices, threshold)
     if mode == DENSE:
-        bits = np.zeros(num_vertices, dtype=bool)
+        bits, dense_values = _dense_scratch(num_vertices)
         bits[ids] = True
         # Non-updated slots are transmitted as zeros — the paper's own
         # framing ("it needs to send many zeros"), which is also what
         # makes late-run dense payloads highly compressible.
-        dense_values = np.zeros(num_vertices, dtype=np.float64)
         dense_values[ids] = values[ids]
         payload = (
             np.packbits(bits, bitorder="little").tobytes() + dense_values.tobytes()
@@ -124,7 +146,14 @@ def encode_update(
 
 
 def decode_update(data: bytes) -> UpdatePayload:
-    """Inverse of :func:`encode_update`."""
+    """Inverse of :func:`encode_update`.
+
+    The returned payload is *immutable* (both arrays are read-only):
+    the engine's decode-once cache hands the same object to every
+    receiver of a broadcast, so nothing downstream may mutate it.
+    Zero-copy where possible — the sparse value array is a ``frombuffer``
+    view over the decompressed payload rather than a private copy.
+    """
     if len(data) < 10:
         raise ValueError("truncated update message")
     mode = data[0]
@@ -132,27 +161,45 @@ def decode_update(data: bytes) -> UpdatePayload:
     if codec_name is None:
         raise ValueError(f"unknown codec id {data[1]}")
     num_vertices = int.from_bytes(data[2:10], "little")
-    payload = get_codec(codec_name).decompress(data[10:])
+    try:
+        payload = get_codec(codec_name).decompress(data[10:])
+    except ValueError:
+        raise
+    except Exception as exc:  # zlib.error, RLE framing errors, ...
+        raise ValueError(f"corrupt {codec_name} payload") from exc
     if mode == DENSE:
         mask_bytes = (num_vertices + 7) // 8
-        bits = np.unpackbits(
-            np.frombuffer(payload[:mask_bytes], dtype=np.uint8), bitorder="little"
-        )[:num_vertices]
-        values = np.frombuffer(payload[mask_bytes:], dtype=np.float64)
-        if values.size != num_vertices:
+        if len(payload) != mask_bytes + 8 * num_vertices:
             raise ValueError("dense payload size mismatch")
+        bits = np.unpackbits(
+            np.frombuffer(payload, dtype=np.uint8, count=mask_bytes),
+            bitorder="little",
+        )[:num_vertices]
+        values = np.frombuffer(
+            payload, dtype=np.float64, offset=mask_bytes, count=num_vertices
+        )
         ids = np.flatnonzero(bits).astype(np.int64)
+        updated = values[ids]  # fancy indexing already copies
+        ids.setflags(write=False)
+        updated.setflags(write=False)
         return UpdatePayload(
-            ids=ids, values=values[ids].copy(), num_vertices=num_vertices, mode=DENSE
+            ids=ids, values=updated, num_vertices=num_vertices, mode=DENSE
         )
     if mode == SPARSE:
+        if len(payload) < 16:
+            raise ValueError("sparse payload size mismatch")
         count = int.from_bytes(payload[:8], "little")
         id_len = int.from_bytes(payload[8:16], "little")
-        ids = decode_sorted_ids(payload[16 : 16 + id_len]).astype(np.int64)
-        values = np.frombuffer(payload[16 + id_len :], dtype=np.float64)
-        if ids.size != count or values.size != count:
+        if len(payload) != 16 + id_len + 8 * count:
             raise ValueError("sparse payload size mismatch")
+        ids = decode_sorted_ids(payload[16 : 16 + id_len]).astype(np.int64)
+        if ids.size != count:
+            raise ValueError("sparse payload size mismatch")
+        values = np.frombuffer(
+            payload, dtype=np.float64, offset=16 + id_len, count=count
+        )
+        ids.setflags(write=False)
         return UpdatePayload(
-            ids=ids, values=values.copy(), num_vertices=num_vertices, mode=SPARSE
+            ids=ids, values=values, num_vertices=num_vertices, mode=SPARSE
         )
     raise ValueError(f"unknown mode byte {mode}")

@@ -178,6 +178,11 @@ class GraphH:
         the first supersteps, then switch codec / comm / bloom / cache /
         prefetch knobs at superstep boundaries.  Overlays
         ``config.tune`` when given.
+    comm_fastpath:
+        Communication fast path (decode-once broadcast fan-out with
+        shared-inbox delivery and batched apply).  On by default;
+        bitwise identical either way, so ``False`` exists only for A/B
+        benchmarking.  Overlays ``config.comm_fastpath`` when given.
     mutations:
         Evolving-graph support (:mod:`repro.delta`): attach a mutation
         log + delta-overlay store to the engine so :meth:`mutate` can
@@ -220,6 +225,7 @@ class GraphH:
         selective: bool | None = None,
         vertex_store: str | None = None,
         tune: bool | None = None,
+        comm_fastpath: bool | None = None,
         mutations: bool | None = None,
         incremental: bool | None = None,
         trace=False,
@@ -248,6 +254,8 @@ class GraphH:
             overrides["vertex_store"] = vertex_store
         if tune is not None:
             overrides["tune"] = tune
+        if comm_fastpath is not None:
+            overrides["comm_fastpath"] = comm_fastpath
         if mutations is not None:
             overrides["mutations"] = mutations
         if incremental is not None:

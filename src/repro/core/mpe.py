@@ -26,6 +26,7 @@ paper's OpenMP worker boundary sits.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -153,6 +154,18 @@ class MPEConfig:
     # without the tuner.  The REPRO_TUNE environment variable overrides
     # this at run time (CI's forcing flag).
     tune: bool = False
+    # Communication fast path (decode-once broadcast fan-out): decode
+    # each broadcast payload once per superstep and share the immutable
+    # result across receivers, stage process-executor inboxes in a
+    # shared-memory arena instead of pickling the same bytes to every
+    # worker, and scatter all senders' updates in one batched
+    # ``store.write`` per receiver.  Values, Counters, CacheStats, and
+    # modeled costs are bitwise identical either way — every receiver
+    # still charges its own decompress bytes — so "off" exists only for
+    # A/B benchmarking (benchmarks/bench_comm.py).  The
+    # REPRO_COMM_FASTPATH environment variable overrides this at run
+    # time.
+    comm_fastpath: bool = True
 
     def __post_init__(self) -> None:
         if self.comm_mode not in ("hybrid", "dense", "sparse"):
@@ -215,6 +228,16 @@ class RunResult:
     sort_fallbacks: int = 0
     decoded_cache_hits: int = 0
     decoded_cache_misses: int = 0
+    # Communication fast path (decode-once fan-out): whether it ran,
+    # plus its payload-decode cache telemetry.  With the fast path off,
+    # every decode counts as a miss, so hits + misses is the total
+    # decode-call count in both modes.  scatter_fallbacks counts apply
+    # phases that fell back to per-sender writes because the static
+    # target-disjointness check failed (never, under AA/OD assignment).
+    comm_fastpath: bool = True
+    payload_decode_hits: int = 0
+    payload_decode_misses: int = 0
+    scatter_fallbacks: int = 0
     # Effective tile-prefetch pipeline depth this run executed with
     # (0 = pipeline off; REPRO_PREFETCH overrides already applied).
     prefetch_depth: int = 0
@@ -241,6 +264,10 @@ class RunResult:
             "sort_fallbacks": self.sort_fallbacks,
             "decoded_cache_hits": self.decoded_cache_hits,
             "decoded_cache_misses": self.decoded_cache_misses,
+            "comm_fastpath": self.comm_fastpath,
+            "payload_decode_hits": self.payload_decode_hits,
+            "payload_decode_misses": self.payload_decode_misses,
+            "scatter_fallbacks": self.scatter_fallbacks,
             "prefetch_depth": self.prefetch_depth,
             "selective": self.selective,
             "vertex_store": self.vertex_store,
@@ -421,6 +448,28 @@ class MPE:
         self._worker_content: dict[int, tuple] = {}
         self._worker_last: dict[int, tuple] = {}
         self._worker_hash_memo: tuple | None = None
+        # --- communication fast path (decode-once fan-out) ------------
+        # Per-superstep content-keyed decode cache: payload bytes →
+        # immutable UpdatePayload.  The first receiver decodes, every
+        # later one reuses the result while still charging its own
+        # decompress bytes.  The lock spans the whole get-or-decode so
+        # thread-executor hit/miss counts stay deterministic.
+        self._comm_fastpath = self.config.comm_fastpath
+        self._decode_cache: dict[bytes, object] = {}
+        self._decode_lock = threading.Lock()
+        self.payload_decode_hits = 0
+        self.payload_decode_misses = 0
+        # Batched apply: True when every server's target ids are
+        # globally disjoint (checked once in setup; holds under both AA
+        # and OD assignment).  scatter_fallbacks counts apply phases
+        # that had to fall back to per-sender writes.
+        self._targets_disjoint = False
+        self.scatter_fallbacks = 0
+        # Worker side: the shared-inbox arena attachment for the
+        # current superstep's apply phase, set post-fork.
+        self._worker_arena: tuple[str, object] | None = None
+        self._worker_payload_memo: dict[tuple[int, int], bytes] = {}
+        self._worker_decode_superstep = -1
 
     # ------------------------------------------------------------------
     # Observability wiring (repro.obs)
@@ -491,12 +540,22 @@ class MPE:
                 "repro_tiles_scheduled",
                 "tiles that survived schedule pruning and were processed",
             ).labels()
+            self._obs_decode_hits = tracer.metrics.counter(
+                "repro_decode_cache_hits",
+                "broadcast payloads served from the decode-once cache",
+            ).labels()
+            self._obs_decode_misses = tracer.metrics.counter(
+                "repro_decode_cache_misses",
+                "broadcast payloads actually decoded",
+            ).labels()
         else:
             self.channel.obs_bytes = None
             self._obs_wall = None
             self._obs_prefetch = None
             self._obs_skipped = None
             self._obs_scheduled = None
+            self._obs_decode_hits = None
+            self._obs_decode_misses = None
 
     # ------------------------------------------------------------------
     # Setup: fetch tiles, build blooms, size caches
@@ -578,6 +637,15 @@ class MPE:
             self._server_target_ids.append(
                 np.concatenate(ranges) if ranges else np.zeros(0, dtype=np.int64)
             )
+        # Static disjointness check for the batched apply scatter: every
+        # vertex has exactly one owning server under both assignment
+        # modes, so the concatenation of all servers' targets has no
+        # duplicates.  Checked once here — if it ever failed, the apply
+        # phase would fall back to per-sender writes (scatter_fallbacks).
+        all_targets = np.concatenate(self._server_target_ids)
+        self._targets_disjoint = (
+            np.unique(all_targets).size == all_targets.size
+        )
         # Edge cache per server (§IV-B): capacity = configured budget,
         # mode auto-selected from the server's own tile volume.
         for server_id, server in enumerate(self.cluster.servers):
@@ -622,6 +690,10 @@ class MPE:
         self._prefetch_depth, self._io_threads = self._resolve_prefetch()
         self._selective = self._resolve_selective()
         self._tune = self._resolve_tune()
+        self._comm_fastpath = self._resolve_comm_fastpath()
+        self.payload_decode_hits = 0
+        self.payload_decode_misses = 0
+        self.scatter_fallbacks = 0
         self._knobs = self._base_knobs()
         self._wire_tracer()
         ebuf = self.tracer.engine() if self.tracer is not None else None
@@ -1019,16 +1091,45 @@ class MPE:
                         ]
                         for s in servers
                     ]
-                    apply_results = executor.run_phase("apply", inboxes)
-                    for server, (delta, tr_events) in zip(
-                        servers, apply_results
-                    ):
+                    # Fast path: stage each distinct broadcast payload
+                    # once in a shared segment and ship (src, off, len)
+                    # handles, instead of pickling the same bytes to
+                    # every receiving worker.  Released once the phase
+                    # returns — workers never hold it across supersteps.
+                    arena = None
+                    if self._comm_fastpath and any(inboxes):
+                        arena, dispatch = self._stage_shared_inboxes(
+                            superstep, inboxes
+                        )
+                    else:
+                        dispatch = [
+                            ("bytes", superstep, inbox) for inbox in inboxes
+                        ]
+                    try:
+                        apply_results = executor.run_phase("apply", dispatch)
+                    finally:
+                        if arena is not None:
+                            arena.release()
+                    for server, (
+                        delta,
+                        tr_events,
+                        dc_hits,
+                        dc_misses,
+                        sc_fb,
+                    ) in zip(servers, apply_results):
                         server.counters.add_volumes(delta)
+                        self.payload_decode_hits += dc_hits
+                        self.payload_decode_misses += dc_misses
+                        self.scatter_fallbacks += sc_fb
                         if tr_events and self.tracer is not None:
                             self.tracer.server(server.server_id).extend(
                                 tr_events
                             )
                 else:
+                    # One decode-once cache generation per superstep:
+                    # retries re-decode (payload content may differ) and
+                    # the cache never outlives the broadcast it serves.
+                    self._decode_cache.clear()
                     executor.map(
                         lambda server: self._apply_server_step(
                             server,
@@ -1088,6 +1189,9 @@ class MPE:
                 )
                 if self._obs_wall is not None:
                     self._obs_wall.observe(reports[-1].wall_s)
+                if self._obs_decode_hits is not None:
+                    self._obs_decode_hits.set(self.payload_decode_hits)
+                    self._obs_decode_misses.set(self.payload_decode_misses)
                 if tuner is not None:
                     self._observe_tuning(
                         tuner,
@@ -1169,6 +1273,10 @@ class MPE:
             sort_fallbacks=self.sort_fallbacks,
             decoded_cache_hits=decoded_hits,
             decoded_cache_misses=decoded_misses,
+            comm_fastpath=self._comm_fastpath,
+            payload_decode_hits=self.payload_decode_hits,
+            payload_decode_misses=self.payload_decode_misses,
+            scatter_fallbacks=self.scatter_fallbacks,
             prefetch_depth=self._prefetch_depth,
             selective=self._selective,
             vertex_store=cfg.vertex_store,
@@ -1516,6 +1624,25 @@ class MPE:
         if raw in ("0", "false", "off", "no"):
             return False
         raise ValueError(f"REPRO_TUNE must be a boolean flag, got {raw!r}")
+
+    def _resolve_comm_fastpath(self) -> bool:
+        """Resolve this run's communication-fast-path flag.
+
+        ``REPRO_COMM_FASTPATH`` (mirroring ``REPRO_TUNE`` /
+        ``REPRO_SELECTIVE``) overrides the config.  Both settings are
+        bitwise identical in results and metering; off exists only for
+        the A/B comparison in ``benchmarks/bench_comm.py``.
+        """
+        raw = os.environ.get("REPRO_COMM_FASTPATH", "").strip().lower()
+        if not raw:
+            return self.config.comm_fastpath
+        if raw in ("1", "true", "on", "yes"):
+            return True
+        if raw in ("0", "false", "off", "no"):
+            return False
+        raise ValueError(
+            f"REPRO_COMM_FASTPATH must be a boolean flag, got {raw!r}"
+        )
 
     # ------------------------------------------------------------------
     # Autotuning (repro.tuning)
@@ -1907,6 +2034,14 @@ class MPE:
         self.cluster.dfs.fault_injector = None
         self._worker_last = {}
         self._worker_hash_memo = None
+        # Fresh communication-fast-path state: the decode cache must not
+        # alias the parent's dict (each worker decodes independently),
+        # and any inherited arena attachment belongs to the parent.
+        self._decode_cache = {}
+        self._decode_lock = threading.Lock()
+        self._worker_arena = None
+        self._worker_payload_memo = {}
+        self._worker_decode_superstep = -1
         if self.tracer is not None:
             # The fork copied whatever the parent had already recorded;
             # without this clear the first per-phase drain would ship
@@ -2017,19 +2152,103 @@ class MPE:
                 prefetch_total=step.prefetch_total,
             )
         if tag == "apply":
+            kind, superstep = payload[0], payload[1]
+            if superstep != self._worker_decode_superstep:
+                # New superstep → new decode-cache generation (and new
+                # shared-inbox arena, attached lazily below).
+                self._worker_decode_superstep = superstep
+                self._decode_cache.clear()
+                self._worker_payload_memo.clear()
+            if kind == "arena":
+                seg_name, handles = payload[2], payload[3]
+                inbox = [
+                    (src, self._worker_payload_bytes(seg_name, off, ln))
+                    for src, off, ln in handles
+                ]
+            else:
+                inbox = payload[2]
+            hits0 = self.payload_decode_hits
+            misses0 = self.payload_decode_misses
+            fb0 = self.scatter_fallbacks
             own = self._worker_last.pop(
                 server_id,
                 (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)),
             )
-            self._apply_server_step(server, own, payload)
+            self._apply_server_step(server, own, inbox)
             delta = snap.delta(server)
             tr_events = (
                 tuple(server.trace.drain())
                 if server.trace is not None
                 else None
             )
-            return (delta, tr_events)
+            return (
+                delta,
+                tr_events,
+                self.payload_decode_hits - hits0,
+                self.payload_decode_misses - misses0,
+                self.scatter_fallbacks - fb0,
+            )
         raise ValueError(f"unknown phase {tag!r}")
+
+    def _worker_payload_bytes(self, seg_name: str, off: int, ln: int) -> bytes:
+        """Materialise one staged payload from the shared-inbox arena.
+
+        The worker attaches to the superstep's segment by name the first
+        time it needs it (per-superstep segments are created after the
+        pool forked, so they cannot be inherited), then serves repeated
+        handles for the same span from a per-superstep memo so each
+        distinct payload's bytes are built once per worker.
+        """
+        from repro.runtime.shm import attach_segment
+
+        attached = self._worker_arena
+        if attached is None or attached[0] != seg_name:
+            if attached is not None:
+                attached[1].close()
+            self._worker_arena = attached = (seg_name, attach_segment(seg_name))
+        memo = self._worker_payload_memo
+        data = memo.get((off, ln))
+        if data is None:
+            data = bytes(attached[1].buf[off : off + ln])
+            memo[(off, ln)] = data
+        return data
+
+    def _stage_shared_inboxes(self, superstep: int, inboxes):
+        """Stage this superstep's broadcast payloads in one shared segment.
+
+        Payloads are deduplicated by object identity — a broadcast
+        delivers the *same* bytes object to every other server's
+        mailbox, while byte-equal payloads from different senders stay
+        distinct spans.  Returns the arena (parent releases it after the
+        apply phase) and the per-server dispatch payloads carrying
+        ``(src, offset, length)`` handles.
+        """
+        from repro.runtime.shm import SharedArray
+
+        spans: dict[int, tuple[int, int]] = {}
+        blobs: list[bytes] = []
+        total = 0
+        for inbox in inboxes:
+            for _src, data in inbox:
+                if id(data) not in spans:
+                    spans[id(data)] = (total, len(data))
+                    blobs.append(data)
+                    total += len(data)
+        arena = SharedArray((max(1, total),), np.uint8)
+        view = arena.array
+        for data in blobs:
+            off, n = spans[id(data)]
+            view[off : off + n] = np.frombuffer(data, dtype=np.uint8)
+        dispatch = [
+            (
+                "arena",
+                superstep,
+                arena.name,
+                [(src, *spans[id(data)]) for src, data in inbox],
+            )
+            for inbox in inboxes
+        ]
+        return arena, dispatch
 
     def _process_compute_phase(
         self,
@@ -2499,13 +2718,85 @@ class MPE:
         codec = self._knobs.message_codec
         store = server.state["store"]
         own_ids, own_vals = own_update
-        store.write(own_ids, own_vals)
+        if not self._comm_fastpath:
+            # Cold path (A/B reference): every envelope decodes.  Each
+            # decode counts as a miss so hits+misses is the decode-call
+            # total in both modes.
+            store.write(own_ids, own_vals)
+            for src, payload_bytes in inbox:
+                payload = decode_update(payload_bytes)
+                with self._decode_lock:
+                    self.payload_decode_misses += 1
+                sender_targets = self._server_target_ids[src]
+                store.write(sender_targets[payload.ids], payload.values)
+                if codec != "raw":
+                    server.counters.add_decompressed(codec, len(payload_bytes))
+            return
+        # Fast path: decode each distinct payload once per superstep,
+        # charge every receiver's decompress bytes regardless (the
+        # modeled cost is per-receiver, §IV-C), and land everything in
+        # one batched scatter — sender target sets are disjoint, so the
+        # write order cannot matter.
+        id_parts = [own_ids]
+        val_parts = [own_vals]
         for src, payload_bytes in inbox:
-            payload = decode_update(payload_bytes)
+            payload = self._decode_payload(server, src, payload_bytes)
             sender_targets = self._server_target_ids[src]
-            store.write(sender_targets[payload.ids], payload.values)
+            id_parts.append(sender_targets[payload.ids])
+            val_parts.append(payload.values)
             if codec != "raw":
                 server.counters.add_decompressed(codec, len(payload_bytes))
+        if not self._targets_disjoint:
+            self.scatter_fallbacks += 1
+            for ids, vals in zip(id_parts, val_parts):
+                store.write(ids, vals)
+        elif len(id_parts) == 1:
+            store.write(own_ids, own_vals)
+        else:
+            store.write(np.concatenate(id_parts), np.concatenate(val_parts))
+
+    def _decode_payload(self, server, src: int, payload_bytes: bytes):
+        """Decode-once lookup for one received broadcast payload.
+
+        Content-keyed (bytes hash by value): the first receiver of a
+        payload decodes it and caches the immutable result for the rest
+        of the superstep; later receivers reuse it.  The lock spans the
+        whole get-or-decode so the thread executor's miss count equals
+        the number of distinct payloads exactly.  Emits a
+        ``payload_decode`` span (miss, covering the decode) or instant
+        (hit) on the server's trace buffer.
+        """
+        trace = server.trace
+        with self._decode_lock:
+            payload = self._decode_cache.get(payload_bytes)
+            if payload is None:
+                if trace is not None:
+                    d0 = trace.depth
+                    trace.begin(
+                        "payload_decode",
+                        "comm",
+                        src=src,
+                        nbytes=len(payload_bytes),
+                        cache="miss",
+                    )
+                try:
+                    payload = decode_update(payload_bytes)
+                finally:
+                    if trace is not None:
+                        trace.close_to(d0)
+                self._decode_cache[payload_bytes] = payload
+                self.payload_decode_misses += 1
+            else:
+                self.payload_decode_hits += 1
+                if trace is not None:
+                    trace.instant(
+                        "payload_decode",
+                        "comm",
+                        src=src,
+                        nbytes=len(payload_bytes),
+                        cache="hit",
+                    )
+        return payload
 
     def _collect_values(self, cfg, servers, init_values) -> np.ndarray:
         """Globally consistent value array after a barrier.

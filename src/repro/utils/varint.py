@@ -55,10 +55,11 @@ def decode_uvarints(data: bytes) -> np.ndarray:
     raw = np.frombuffer(data, dtype=np.uint8)
     if raw.size == 0:
         return np.zeros(0, dtype=np.uint64)
-    if raw[-1] < 128 and raw.max() < 128:
+    cont = raw & 0x80
+    if not cont.any():
         # Fast path: no continuation bits anywhere — one byte per value.
         return raw.astype(np.uint64)
-    is_last = (raw & 0x80) == 0
+    is_last = cont == 0
     if not is_last[-1]:
         raise ValueError("truncated varint stream")
     ends = np.flatnonzero(is_last)

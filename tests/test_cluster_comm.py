@@ -178,6 +178,22 @@ class TestChannel:
         finally:
             cluster.close()
 
+    def test_local_send_counts_as_message(self):
+        """Self-sends are free on the *byte* meters but still count as
+        messages — ``total_messages`` must agree with the per-server
+        ``messages_sent`` it mirrors, local or not."""
+        cluster, ch = self._make()
+        try:
+            ch.send(0, 0, b"local")
+            ch.send(0, 1, b"remote")
+            assert cluster.servers[0].counters.messages_sent == 2
+            assert ch.total_messages == 2
+            # Byte meters stay network-only.
+            assert cluster.servers[0].counters.net_sent == 6
+            assert ch.total_bytes == 6
+        finally:
+            cluster.close()
+
     def test_broadcast_excludes_sender(self):
         cluster, ch = self._make(4)
         try:
@@ -303,3 +319,129 @@ class TestUpdateMessages:
         assert out.ids.tolist() == ids.tolist()
         assert np.allclose(out.values, values[ids])
         assert out.num_vertices == num_vertices
+
+
+class TestDecodeAdversarial:
+    """Malformed wire bytes must raise ValueError — never crash with a
+    codec-internal exception, never return garbage.  The decode-once
+    cache hands one decoded payload to every receiver of a broadcast,
+    so a bad envelope has to fail loudly at its first (only) decode."""
+
+    @staticmethod
+    def _codec_id(name):
+        from repro.storage.codecs import CACHE_MODES
+
+        return list(CACHE_MODES).index(name)
+
+    def test_truncated_header(self):
+        for n in range(10):
+            with pytest.raises(ValueError, match="truncated update message"):
+                decode_update(b"\x00" * n)
+
+    def test_unknown_codec_id(self):
+        msg = encode_update(np.zeros(8), np.array([2]), codec_name="raw")
+        bad = bytes([msg[0], 255]) + msg[2:]
+        with pytest.raises(ValueError, match="unknown codec id"):
+            decode_update(bad)
+
+    def test_unknown_mode_byte(self):
+        msg = encode_update(np.zeros(8), np.array([2]), codec_name="raw")
+        bad = bytes([7]) + msg[1:]
+        with pytest.raises(ValueError, match="unknown mode byte"):
+            decode_update(bad)
+
+    def test_dense_size_mismatch(self):
+        msg = encode_update(
+            np.zeros(16), np.arange(16), codec_name="raw", mode=DENSE
+        )
+        with pytest.raises(ValueError, match="dense payload size mismatch"):
+            decode_update(msg[:-1])
+        with pytest.raises(ValueError, match="dense payload size mismatch"):
+            decode_update(msg + b"\x00")
+
+    def test_sparse_size_mismatch(self):
+        msg = encode_update(
+            np.arange(100.0), np.array([5, 50]), codec_name="raw", mode=SPARSE
+        )
+        with pytest.raises(ValueError, match="sparse payload size mismatch"):
+            decode_update(msg[:-1])
+        with pytest.raises(ValueError, match="sparse payload size mismatch"):
+            decode_update(msg + b"\x00")
+
+    def test_sparse_count_exceeds_ids(self):
+        """A count field claiming more ids than the varint block holds:
+        the length arithmetic can be made to line up, the id count
+        cannot."""
+        from repro.utils.varint import encode_sorted_ids
+
+        id_block = encode_sorted_ids(np.array([1, 2]))
+        count = 3  # lies: block only decodes to 2 ids
+        payload = (
+            count.to_bytes(8, "little")
+            + len(id_block).to_bytes(8, "little")
+            + id_block
+            + b"\x00" * (8 * count)
+        )
+        header = bytes([SPARSE, self._codec_id("raw")]) + (8).to_bytes(
+            8, "little"
+        )
+        with pytest.raises(ValueError, match="sparse payload size mismatch"):
+            decode_update(header + payload)
+
+    def test_sparse_truncated_varint_block(self):
+        from repro.utils.varint import encode_sorted_ids
+
+        id_block = encode_sorted_ids(np.array([300]))[:-1]  # mid-varint cut
+        payload = (
+            (1).to_bytes(8, "little")
+            + len(id_block).to_bytes(8, "little")
+            + id_block
+            + b"\x00" * 8
+        )
+        header = bytes([SPARSE, self._codec_id("raw")]) + (512).to_bytes(
+            8, "little"
+        )
+        with pytest.raises(ValueError, match="truncated varint"):
+            decode_update(header + payload)
+
+    @pytest.mark.parametrize("codec", ["snappylike", "zlib1", "zlib3"])
+    def test_corrupt_compressed_payload(self, codec):
+        msg = encode_update(np.arange(64.0), np.arange(64), codec_name=codec)
+        bad = msg[:10] + bytes(reversed(msg[10:]))
+        with pytest.raises(ValueError):
+            decode_update(bad)
+
+    def test_decoded_payload_is_immutable(self):
+        """The decode-once cache shares one UpdatePayload across all
+        receivers; its arrays must be read-only."""
+        for mode in (DENSE, SPARSE):
+            out = decode_update(
+                encode_update(
+                    np.arange(32.0), np.array([1, 9]), "raw", mode=mode
+                )
+            )
+            with pytest.raises(ValueError):
+                out.ids[0] = 5
+            with pytest.raises(ValueError):
+                out.values[0] = 5.0
+
+    @settings(max_examples=200)
+    @given(data=st.binary(max_size=200))
+    def test_fuzz_never_crashes(self, data):
+        """Arbitrary bytes: decode_update either returns a payload or
+        raises ValueError — no other exception type escapes."""
+        try:
+            decode_update(data)
+        except ValueError:
+            pass
+
+    @settings(max_examples=100)
+    @given(data=st.binary(min_size=10, max_size=200), codec=st.integers(0, 3))
+    def test_fuzz_valid_header_never_crashes(self, data, codec):
+        """Force a plausible header so the fuzz reaches the payload
+        parsers rather than dying at the codec-id check."""
+        framed = bytes([data[0] % 2, codec]) + data[2:]
+        try:
+            decode_update(framed)
+        except ValueError:
+            pass

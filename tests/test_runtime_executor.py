@@ -734,3 +734,145 @@ class TestSortSkip:
         assert mpe.sort_fallbacks == 0
         assert len(result.supersteps) > 1
         cluster.close()
+
+
+class TestCommFastpath:
+    """Decode-once broadcast fan-out (comm_fastpath).
+
+    The knob must be bitwise invisible: on/off runs agree on values AND
+    every counter/modeled metric, across executors, comm modes, codecs,
+    env forcing, and fault schedules — while the decode-call telemetry
+    shows the O(N·(N−1)) → O(N) drop in actual decode work.
+    """
+
+    @pytest.mark.parametrize(
+        "executor",
+        ["serial", "parallel", pytest.param("process", marks=needs_process)],
+    )
+    @pytest.mark.parametrize(
+        "comm,codec",
+        [("dense", "raw"), ("sparse", "zlib1"), ("hybrid", "snappylike")],
+        ids=["dense-raw", "sparse-zlib1", "hybrid-snappylike"],
+    )
+    def test_on_off_identity_sweep(self, skewed, executor, comm, codec):
+        def cfg(fastpath):
+            return MPEConfig(
+                executor=executor,
+                comm_mode=comm,
+                message_codec=codec,
+                comm_fastpath=fastpath,
+            )
+
+        off = _run(skewed, PageRank(), cfg(False), max_supersteps=8)
+        on = _run(skewed, PageRank(), cfg(True), max_supersteps=8)
+        _assert_identical(off, on)
+        assert on[0].comm_fastpath is True
+        assert off[0].comm_fastpath is False
+        # Off is a true cold path: the decode-once machinery never runs.
+        assert off[0].payload_decode_hits == 0
+
+    def test_decode_counts_exact(self, skewed):
+        """Serial executor, N=3 servers: the fast path decodes each of
+        the S·N broadcast payloads exactly once; the cold path decodes
+        each at all N−1 receivers."""
+        n = 3
+        on, _ = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(executor="serial", comm_fastpath=True),
+            max_supersteps=8,
+        )
+        off, _ = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(executor="serial", comm_fastpath=False),
+            max_supersteps=8,
+        )
+        steps = on.num_supersteps
+        assert steps == off.num_supersteps
+        assert on.payload_decode_misses == steps * n
+        assert on.payload_decode_hits == steps * n * (n - 2)
+        assert off.payload_decode_misses == steps * n * (n - 1)
+        assert off.payload_decode_hits == 0
+        # Same total decode *attempts* either way — only where the work
+        # lands differs.
+        assert (
+            on.payload_decode_hits + on.payload_decode_misses
+            == off.payload_decode_misses
+        )
+        assert on.scatter_fallbacks == 0 == off.scatter_fallbacks
+        runtime = on.runtime()
+        assert runtime["comm_fastpath"] is True
+        assert runtime["payload_decode_misses"] == steps * n
+        assert runtime["payload_decode_hits"] == on.payload_decode_hits
+        assert runtime["scatter_fallbacks"] == 0
+
+    def test_env_override_wins(self, skewed, monkeypatch):
+        baseline = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(comm_fastpath=False),
+            max_supersteps=6,
+        )
+        monkeypatch.setenv("REPRO_COMM_FASTPATH", "0")
+        result, telemetry = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(comm_fastpath=True),
+            max_supersteps=6,
+        )
+        assert result.comm_fastpath is False
+        assert result.payload_decode_hits == 0
+        _assert_identical(baseline, (result, telemetry))
+
+    def test_env_override_rejects_junk(self, skewed, monkeypatch):
+        monkeypatch.setenv("REPRO_COMM_FASTPATH", "sometimes")
+        with pytest.raises(ValueError, match="REPRO_COMM_FASTPATH"):
+            _run(skewed, PageRank(), MPEConfig(), max_supersteps=2)
+
+    @staticmethod
+    def _supervised(graph, schedule, fastpath):
+        from repro.cluster import Cluster, ClusterSpec
+        from repro.core import MPE, SPE
+        from repro.faults import Supervisor
+
+        cluster = Cluster(ClusterSpec(num_servers=3))
+        spe = SPE(cluster.dfs)
+        manifest = spe.preprocess(
+            graph, max(1, graph.num_edges // 9), name=graph.name
+        )
+        mpe = MPE(
+            cluster,
+            manifest,
+            MPEConfig(
+                checkpoint_every=2,
+                max_supersteps=20,
+                comm_fastpath=fastpath,
+            ),
+        )
+        sup = Supervisor(mpe, schedule=schedule)
+        result, report = sup.run(PageRank())
+        values = result.values.copy()
+        cluster.close()
+        return values, report
+
+    def test_lost_broadcast_not_masked_by_cache(self, skewed):
+        """A dropped broadcast envelope must still be *lost* under the
+        fast path — the decode cache shares decoded payloads, never
+        delivery — so the supervisor detects the divergence, restarts,
+        and the retry is byte-identical to the clean run."""
+        from repro.faults import MSG_DROP, FaultEvent, FaultSchedule
+
+        clean, _ = _run(
+            skewed,
+            PageRank(),
+            MPEConfig(executor="serial", comm_fastpath=False),
+            max_supersteps=20,
+        )
+        schedule = FaultSchedule(
+            [FaultEvent(MSG_DROP, superstep=2, server=0)]
+        )
+        for fastpath in (False, True):
+            values, report = self._supervised(skewed, schedule, fastpath)
+            assert report.restarts == 1, f"fastpath={fastpath}"
+            assert np.array_equal(values, clean.values), f"fastpath={fastpath}"

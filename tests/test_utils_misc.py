@@ -60,6 +60,77 @@ class TestVarint:
         arr = np.array(values, dtype=np.uint64)
         assert decode_uvarints(encode_uvarints(arr)).tolist() == values
 
+    @given(
+        st.lists(
+            st.one_of(
+                # Cluster around every continuation-byte boundary: the
+                # single-byte fast path must not fire when any value
+                # crosses 127→128, 2¹⁴, 2²¹, ...
+                st.integers(120, 135),
+                st.integers(16_380, 16_390),
+                st.integers(2**21 - 4, 2**21 + 4),
+                st.integers(0, 2**63 - 1),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_boundary_mix_roundtrip(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        data = encode_uvarints(arr)
+        assert decode_uvarints(data).tolist() == values
+        # Fast path sanity: a stream is 1-byte-per-value iff every
+        # value fits in 7 bits.
+        if max(values) < 128:
+            assert len(data) == len(values)
+        else:
+            assert len(data) > len(values)
+
+    @given(
+        st.lists(st.integers(0, 2**49), min_size=1, max_size=50),
+        st.integers(0, 2**62),
+    )
+    def test_sorted_ids_huge_delta_gaps(self, gaps, base):
+        """Delta coding must survive id gaps ≥ 2⁴⁹ (multi-byte varint
+        deltas) without wrapping or losing order."""
+        ids = np.cumsum(
+            np.array([base] + gaps, dtype=np.uint64), dtype=np.uint64
+        )
+        if int(ids[-1]) >= 2**63:
+            return  # stay inside int64-representable ids
+        ids = ids.astype(np.int64)
+        out = decode_sorted_ids(encode_sorted_ids(ids))
+        assert out.tolist() == ids.tolist()
+
+    @given(st.lists(st.integers(0, 2**63 - 1), min_size=1, max_size=50))
+    def test_truncation_always_detected_or_shorter(self, values):
+        """Chopping the final byte of a stream never yields the
+        original sequence back: either the decoder raises (mid-varint
+        cut) or it returns strictly fewer values (clean cut)."""
+        arr = np.array(values, dtype=np.uint64)
+        data = encode_uvarints(arr)
+        try:
+            out = decode_uvarints(data[:-1])
+        except ValueError:
+            return
+        assert out.size < arr.size
+
+    @given(st.binary(max_size=100))
+    def test_decode_fuzz_never_crashes(self, data):
+        """Arbitrary bytes: decode_uvarints returns an array or raises
+        ValueError — nothing else escapes."""
+        try:
+            decode_uvarints(data)
+        except ValueError:
+            pass
+
+    def test_decode_rejects_dangling_continuation(self):
+        # A lone continuation byte promises more bytes that never come.
+        with pytest.raises(ValueError, match="truncated varint"):
+            decode_uvarints(b"\x80")
+        with pytest.raises(ValueError, match="truncated varint"):
+            decode_uvarints(b"\x05\xff")
+
 
 class TestSizes:
     def test_constants(self):
